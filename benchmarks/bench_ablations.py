@@ -1,0 +1,80 @@
+"""Ablations A1-A4 (see DESIGN.md section 4)."""
+
+from repro.datalog import (Query, parse_atom, parse_program, qsq_evaluate)
+from repro.datalog.magic import magic_evaluate
+from repro.datalog.naive import load_facts
+from repro.distributed import DqsqEngine
+
+
+def _chain_program(length):
+    edges = "\n".join(f'edge("n{i}", "n{i+1}").' for i in range(length))
+    text = ("path(X, Y) :- edge(X, Y).\n"
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n" + edges)
+    program = parse_program(text)
+    return program, load_facts(program)
+
+
+def test_a4_qsq_on_chain(benchmark):
+    program, db = _chain_program(60)
+    query = Query(parse_atom('path("n0", Y)'))
+
+    result = benchmark(lambda: qsq_evaluate(program, query, db))
+
+    assert len(result.answers) == 60
+    benchmark.extra_info["facts"] = result.counters["facts_materialized"]
+
+
+def test_a4_magic_on_chain(benchmark):
+    program, db = _chain_program(60)
+    query = Query(parse_atom('path("n0", Y)'))
+
+    answers, counters, _mdb = benchmark(lambda: magic_evaluate(program, query, db))
+
+    assert len(answers) == 60
+    benchmark.extra_info["facts"] = counters["facts_materialized"]
+
+
+def test_a3_termination_detector_overhead(benchmark, figure3_program, figure3_edb):
+    query = Query(parse_atom('r@r("1", Y)'))
+
+    def run():
+        plain = DqsqEngine(figure3_program, figure3_edb).query(query)
+        detected = DqsqEngine(figure3_program, figure3_edb,
+                              use_termination_detector=True).query(query)
+        return plain, detected
+
+    plain, detected = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert detected.terminated_by_detector is True
+    assert detected.counters["messages_sent"] > plain.counters["messages_sent"]
+    benchmark.extra_info["ack_messages"] = detected.counters["messages_sent[ds-ack]"]
+
+
+def test_a2_stratified_complement(benchmark):
+    from repro.datalog.stratified import StratifiedEvaluator
+    from repro.petri.examples import figure1_net
+    from repro.petri.unfolding import unfold
+
+    bp = unfold(figure1_net())
+    facts = []
+    for eid, event in bp.events.items():
+        facts.append(f'event("{eid}").')
+        for cid in event.preset:
+            facts.append(f'parent("{cid}", "{eid}").')
+    for cid, condition in bp.conditions.items():
+        if condition.producer:
+            facts.append(f'producer("{condition.producer}", "{cid}").')
+    text = "\n".join(facts) + """
+    ancestor(X, Y) :- parent(Y, X).
+    ancestor(X, Y) :- producer(X, Y).
+    ancestor(X, Y) :- ancestor(X, Z), ancestor(Z, Y).
+    notancestor(X, Y) :- event(X), event(Y), not ancestor(X, Y).
+    """
+    program = parse_program(text)
+
+    def run():
+        db = load_facts(program)
+        StratifiedEvaluator(program).run(db)
+        return db
+
+    db = benchmark(run)
+    assert db.count(("notancestor", None)) > 0

@@ -1,0 +1,42 @@
+"""E1 (Figures 1-2): diagnosing the running example's alarm sequences."""
+
+import pytest
+
+from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
+                             DedicatedDiagnoser, bruteforce_diagnosis)
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+
+
+@pytest.mark.parametrize("name", ["bac", "bca", "cba"])
+def test_dqsq_diagnosis(benchmark, name):
+    petri = figure1_net()
+    alarms = AlarmSequence(figure1_alarm_scenarios()[name])
+    engine = DatalogDiagnosisEngine(petri, mode="dqsq")
+
+    result = benchmark.pedantic(lambda: engine.diagnose(alarms),
+                                rounds=3, iterations=1)
+
+    expected = bruteforce_diagnosis(petri, alarms).diagnoses
+    assert result.diagnoses == expected
+    benchmark.extra_info["diagnoses"] = len(result.diagnoses)
+    benchmark.extra_info["events_materialized"] = len(result.materialized_events)
+
+
+def test_dedicated_baseline(benchmark):
+    petri = figure1_net()
+    alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+    diagnoser = DedicatedDiagnoser(petri)
+
+    result = benchmark(lambda: diagnoser.diagnose(alarms))
+
+    assert len(result.diagnoses) == 1
+    benchmark.extra_info["prefix_events"] = len(result.projected_events)
+
+
+def test_bruteforce_baseline(benchmark):
+    petri = figure1_net()
+    alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+
+    result = benchmark(lambda: bruteforce_diagnosis(petri, alarms))
+
+    assert len(result.diagnoses) == 1

@@ -1,0 +1,48 @@
+"""E4 (Theorem 2): constructing the unfolding via the dDatalog rules."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.seminaive import EvaluationBudget, SemiNaiveEvaluator
+from repro.diagnosis.encoding import (PLACES, TRANS1, TRANS2,
+                                      UnfoldingEncoder, node_id_of_term)
+from repro.petri.examples import figure1_net, two_peer_chain_net
+from repro.petri.unfolding import unfold
+
+
+def _program_nodes(db):
+    events, conditions = set(), set()
+    for key in db.relations():
+        relation, _peer = key
+        if relation in (TRANS1, TRANS2):
+            events |= {node_id_of_term(f[0]) for f in db.facts(key)}
+        elif relation == PLACES:
+            conditions |= {node_id_of_term(f[0]) for f in db.facts(key)}
+    return events, conditions
+
+
+@pytest.mark.parametrize("builder", [figure1_net, two_peer_chain_net],
+                         ids=["figure1", "chain"])
+def test_datalog_unfolding_construction(benchmark, builder):
+    petri = builder()
+    encoder = UnfoldingEncoder(petri)
+    program = encoder.program().program
+
+    def run():
+        db = Database()
+        SemiNaiveEvaluator(program, EvaluationBudget(max_facts=500_000)).run(db)
+        return db
+
+    db = benchmark(run)
+    events, conditions = _program_nodes(db)
+    bp = unfold(petri)
+    assert events == set(bp.events)
+    assert conditions == set(bp.conditions)
+
+
+@pytest.mark.parametrize("builder", [figure1_net, two_peer_chain_net],
+                         ids=["figure1", "chain"])
+def test_direct_unfolder_baseline(benchmark, builder):
+    petri = builder()
+    bp = benchmark(lambda: unfold(petri))
+    assert len(bp.events) >= 2

@@ -1,0 +1,37 @@
+"""E6a (Theorem 4): materialization parity with the dedicated algorithm."""
+
+import pytest
+
+from repro.diagnosis import DatalogDiagnosisEngine, DedicatedDiagnoser
+from repro.petri.generators import random_safe_net
+from repro.petri.unfolding import unfold
+from repro.workloads.alarmgen import simulate_alarms
+
+
+@pytest.mark.parametrize("seed", [0, 2, 4])
+def test_theorem4_parity(benchmark, seed):
+    petri = random_safe_net(seed, branching=0.5)
+    alarms = simulate_alarms(petri, steps=4, seed=seed)
+    engine = DatalogDiagnosisEngine(petri, mode="dqsq")
+
+    result = benchmark.pedantic(lambda: engine.diagnose(alarms),
+                                rounds=2, iterations=1)
+
+    dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
+    assert result.materialized_events == dedicated.projected_events
+    assert result.diagnoses == dedicated.diagnoses
+
+    full = unfold(petri, max_depth=len(alarms), max_events=100_000)
+    assert len(result.materialized_events) <= len(full.events)
+    benchmark.extra_info["dqsq_events"] = len(result.materialized_events)
+    benchmark.extra_info["full_unfolding_events"] = len(full.events)
+
+
+def test_dedicated_algorithm_runtime(benchmark):
+    petri = random_safe_net(0, branching=0.5)
+    alarms = simulate_alarms(petri, steps=4, seed=0)
+    diagnoser = DedicatedDiagnoser(petri)
+
+    result = benchmark(lambda: diagnoser.diagnose(alarms))
+
+    assert len(result.diagnoses) >= 1

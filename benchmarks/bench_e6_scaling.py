@@ -1,0 +1,40 @@
+"""E6b: dQSQ diagnosis cost vs alarm-sequence length and peer count."""
+
+import pytest
+
+from repro.diagnosis import DatalogDiagnosisEngine
+from repro.petri.generators import TelecomSpec, telecom_net
+from repro.workloads.alarmgen import simulate_alarms
+
+
+@pytest.mark.parametrize("steps", [2, 4, 6])
+def test_scaling_alarm_length(benchmark, steps):
+    spec = TelecomSpec(peers=2, ring_length=3, branching=0.3,
+                       topology="chain", seed=21)
+    petri = telecom_net(spec)
+    alarms = simulate_alarms(petri, steps=steps, seed=21)
+    engine = DatalogDiagnosisEngine(petri, mode="dqsq")
+
+    result = benchmark.pedantic(lambda: engine.diagnose(alarms),
+                                rounds=2, iterations=1)
+
+    assert len(result.diagnoses) >= 1
+    benchmark.extra_info["alarms"] = len(alarms)
+    benchmark.extra_info["messages"] = result.counters["messages_sent"]
+    benchmark.extra_info["events"] = len(result.materialized_events)
+
+
+@pytest.mark.parametrize("peers", [2, 3, 4])
+def test_scaling_peer_count(benchmark, peers):
+    spec = TelecomSpec(peers=peers, ring_length=3, branching=0.3,
+                       topology="chain", seed=21)
+    petri = telecom_net(spec)
+    alarms = simulate_alarms(petri, steps=4, seed=21)
+    engine = DatalogDiagnosisEngine(petri, mode="dqsq")
+
+    result = benchmark.pedantic(lambda: engine.diagnose(alarms),
+                                rounds=2, iterations=1)
+
+    assert len(result.diagnoses) >= 1
+    benchmark.extra_info["peers"] = peers
+    benchmark.extra_info["messages"] = result.counters["messages_sent"]

@@ -1,0 +1,66 @@
+"""E8: the online supervisor loop, plus the A5 QSQR ablation."""
+
+import pytest
+
+from repro.datalog import Query, parse_atom, parse_program, qsq_evaluate
+from repro.datalog.naive import load_facts
+from repro.datalog.qsqr import qsqr_evaluate
+from repro.diagnosis import AlarmSequence, bruteforce_diagnosis
+from repro.diagnosis.online import OnlineDiagnoser
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+from repro.petri.generators import random_safe_net
+from repro.workloads.alarmgen import simulate_alarms
+
+
+def test_online_running_example(benchmark):
+    petri = figure1_net()
+    alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+
+    def run():
+        online = OnlineDiagnoser(petri)
+        online.push_all(alarms)
+        return online
+
+    online = benchmark(run)
+    assert len(online.diagnoses()) == 1
+
+
+@pytest.mark.parametrize("seed", [0, 2])
+def test_online_random_net(benchmark, seed):
+    petri = random_safe_net(seed, branching=0.5)
+    alarms = simulate_alarms(petri, steps=4, seed=seed)
+
+    def run():
+        online = OnlineDiagnoser(petri)
+        online.push_all(alarms)
+        return online
+
+    online = benchmark(run)
+    assert online.diagnoses() == bruteforce_diagnosis(petri, alarms).diagnoses
+
+
+def _chain(length):
+    edges = "\n".join(f'edge("n{i}", "n{i+1}").' for i in range(length))
+    text = ("path(X, Y) :- edge(X, Y).\n"
+            "path(X, Y) :- edge(X, Z), path(Z, Y).\n" + edges)
+    program = parse_program(text)
+    return program, load_facts(program)
+
+
+def test_a5_qsqr_on_chain(benchmark):
+    program, db = _chain(40)
+    query = Query(parse_atom('path("n0", Y)'))
+
+    result = benchmark(lambda: qsqr_evaluate(program, query, db))
+
+    assert len(result.answers) == 40
+    benchmark.extra_info["passes"] = result.counters["qsqr_passes"]
+
+
+def test_a5_qsq_rewriting_on_chain(benchmark):
+    program, db = _chain(40)
+    query = Query(parse_atom('path("n0", Y)'))
+
+    result = benchmark(lambda: qsq_evaluate(program, query, db))
+
+    assert len(result.answers) == 40

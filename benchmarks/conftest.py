@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each bench file regenerates one paper artifact (figure/theorem); the
+asserted *shape* claims mirror EXPERIMENTS.md, while pytest-benchmark
+records the runtimes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.datalog.naive import load_facts
+from repro.distributed import DDatalogProgram
+
+FIGURE3_TEXT = """
+r@r(X, Y) :- a@r(X, Y).
+r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+t@t(X, Y) :- c@t(X, Y).
+a@r("1", "2").
+a@r("2", "3").
+b@s("2", "x").
+b@s("3", "x").
+c@t("2", "4").
+c@t("3", "5").
+c@t("4", "6").
+"""
+
+
+@pytest.fixture(scope="session")
+def figure3_program():
+    return DDatalogProgram(parse_program(FIGURE3_TEXT))
+
+
+@pytest.fixture(scope="session")
+def figure3_edb():
+    return load_facts(parse_program(FIGURE3_TEXT))

@@ -1,0 +1,56 @@
+"""Quickstart: diagnose the paper's running example (Figures 1 and 2).
+
+Builds the two-peer Petri net of Figure 1, feeds the supervisor the
+alarm sequence (b,p1), (a,p2), (c,p1), and computes the diagnosis set
+three ways: brute force over the unfolding, the dedicated algorithm of
+Benveniste-Fabre-Haar-Jard [8], and the paper's contribution -- the
+dDatalog encoding evaluated with distributed QSQ.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
+                             DedicatedDiagnoser, bruteforce_diagnosis)
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+from repro.petri.io import petri_to_dot
+
+
+def main() -> None:
+    petri = figure1_net()
+    print("The running example (Figure 1):")
+    print(f"  peers       : {sorted(petri.net.peers())}")
+    print(f"  places      : {sorted(petri.net.places)}")
+    print(f"  transitions : {sorted(petri.net.transitions)}")
+    print(f"  marking     : {sorted(petri.marking)}")
+    print()
+
+    for name, pairs in figure1_alarm_scenarios().items():
+        alarms = AlarmSequence(pairs)
+        print(f"Alarm sequence {name}: {' '.join(str(a) for a in alarms)}")
+
+        brute = bruteforce_diagnosis(petri, alarms)
+        dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
+        datalog = DatalogDiagnosisEngine(petri, mode="dqsq").diagnose(alarms)
+
+        assert datalog.diagnoses == brute.diagnoses == dedicated.diagnoses
+        if datalog.diagnoses:
+            for index, configuration in enumerate(sorted(datalog.diagnoses, key=sorted)):
+                events = ", ".join(sorted(configuration))
+                print(f"  explanation {index + 1}: {{{events}}}")
+        else:
+            print("  no explanation: the sequence is inconsistent with the net")
+        print(f"  unfolding events materialized by dQSQ : "
+              f"{len(datalog.materialized_events)}")
+        print(f"  prefix built by the dedicated algorithm: "
+              f"{len(dedicated.projected_events)} (Theorem 4: equal sets -> "
+              f"{datalog.materialized_events == dedicated.projected_events})")
+        print()
+
+    print("Tip: render the net with Graphviz:")
+    print("  python -c \"from repro.petri.examples import figure1_net;"
+          " from repro.petri.io import petri_to_dot;"
+          " print(petri_to_dot(figure1_net()))\" | dot -Tpng > figure1.png")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim for legacy editable installs in offline environments.
+
+All metadata lives in pyproject.toml; this file only exists so that
+``pip install -e .`` works without network access (pip's PEP-517 build
+isolation would otherwise try to download setuptools/wheel).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,182 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list-scenarios
+    python -m repro diagnose --scenario figure1-bac [--mode dqsq|qsq|dedicated|bruteforce]
+    python -m repro diagnose --net net.json --alarms "b@p1 a@p2 c@p1"
+    python -m repro render --scenario figure1-bac            # DOT to stdout
+    python -m repro experiments [E1 E6a ...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
+                             DedicatedDiagnoser, bruteforce_diagnosis)
+from repro.errors import ReproError
+from repro.petri.io import petri_from_json, petri_to_dot
+from repro.workloads import SCENARIOS, get_scenario
+
+
+def _parse_alarm_spec(text: str) -> AlarmSequence:
+    """Parse ``"b@p1 a@p2 c@p1"`` into an alarm sequence."""
+    pairs = []
+    for token in text.split():
+        symbol, sep, peer = token.partition("@")
+        if not sep or not symbol or not peer:
+            raise ReproError(f"bad alarm token {token!r}; expected symbol@peer")
+        pairs.append((symbol, peer))
+    return AlarmSequence(pairs)
+
+
+def _load_instance(args) -> tuple:
+    if args.scenario:
+        return get_scenario(args.scenario).instantiate()
+    if not args.net:
+        raise ReproError("provide --scenario or --net")
+    with open(args.net) as handle:
+        petri = petri_from_json(handle.read())
+    if args.alarms is None:
+        raise ReproError("--net requires --alarms")
+    return petri, _parse_alarm_spec(args.alarms)
+
+
+def cmd_list_scenarios(_args) -> int:
+    for name in sorted(SCENARIOS):
+        print(f"{name:20s} {SCENARIOS[name].description}")
+    return 0
+
+
+def cmd_diagnose(args) -> int:
+    petri, alarms = _load_instance(args)
+    print(f"alarm sequence: {' '.join(str(a) for a in alarms)}")
+    if args.hidden:
+        return _diagnose_with_hidden(args, petri, alarms)
+    if args.mode in ("dqsq", "qsq", "bottomup"):
+        engine = DatalogDiagnosisEngine(petri, mode=args.mode)
+        result = engine.diagnose(alarms)
+        diagnoses = result.diagnoses
+        print(f"materialized unfolding events: {len(result.materialized_events)}")
+    elif args.mode == "dedicated":
+        diagnoses = DedicatedDiagnoser(petri).diagnose(alarms).diagnoses
+    elif args.mode == "bruteforce":
+        diagnoses = bruteforce_diagnosis(petri, alarms).diagnoses
+    else:
+        raise ReproError(f"unknown mode {args.mode}")
+    if not diagnoses:
+        print("no explanation: the sequence is inconsistent with the model")
+        return 1
+    if args.report:
+        from repro.diagnosis.report import render_diagnosis_report
+        print(render_diagnosis_report(diagnoses, petri))
+        return 0
+    print(f"{len(diagnoses)} explanation(s):")
+    for index, configuration in enumerate(sorted(diagnoses, key=sorted)):
+        print(f"  [{index + 1}]")
+        for event in sorted(configuration):
+            print(f"    {event}")
+    return 0
+
+
+def _diagnose_with_hidden(args, petri, alarms) -> int:
+    """Section-4.4 path: some transitions are unreported."""
+    from repro.diagnosis.extensions import (ExtendedDiagnosisEngine,
+                                            ObservationSpec)
+    from repro.petri.product import Observer
+
+    hidden = frozenset(t.strip() for t in args.hidden.split(",") if t.strip())
+    unknown = hidden - petri.net.transitions
+    if unknown:
+        raise ReproError(f"unknown hidden transitions: {sorted(unknown)}")
+    observers = {peer: Observer.chain(peer, list(symbols))
+                 for peer, symbols in alarms.by_peer().items()}
+    for peer in petri.net.peers():
+        observers.setdefault(peer, Observer.chain(peer, []))
+    spec = ObservationSpec(observers=observers, hidden=hidden,
+                           max_events=len(alarms) + args.hidden_budget)
+    mode = args.mode if args.mode in ("dqsq", "qsq") else "dqsq"
+    result = ExtendedDiagnosisEngine(petri, spec, mode=mode).diagnose()
+    diagnoses = result.diagnoses
+    if not diagnoses:
+        print("no explanation: the sequence is inconsistent with the model")
+        return 1
+    if args.report:
+        from repro.diagnosis.report import render_diagnosis_report
+        print(render_diagnosis_report(diagnoses, petri))
+        return 0
+    print(f"{len(diagnoses)} explanation(s) "
+          f"(hidden: {', '.join(sorted(hidden))}; "
+          f"hidden budget: {args.hidden_budget}):")
+    for index, configuration in enumerate(sorted(diagnoses, key=sorted)):
+        print(f"  [{index + 1}]")
+        for event in sorted(configuration):
+            print(f"    {event}")
+    return 0
+
+
+def cmd_render(args) -> int:
+    petri, _alarms = _load_instance(args)
+    print(petri_to_dot(petri))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments import run_all
+    run_all(only=args.ids or None)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diagnosis of asynchronous discrete event systems "
+                    "via distributed Datalog (PODS 2005 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list-scenarios", help="list built-in scenarios") \
+       .set_defaults(func=cmd_list_scenarios)
+
+    diagnose = sub.add_parser("diagnose", help="diagnose an alarm sequence")
+    diagnose.add_argument("--scenario", help="built-in scenario name")
+    diagnose.add_argument("--net", help="Petri net JSON file")
+    diagnose.add_argument("--alarms", help='alarm sequence, e.g. "b@p1 a@p2 c@p1"')
+    diagnose.add_argument("--mode", default="dqsq",
+                          choices=["dqsq", "qsq", "bottomup", "dedicated",
+                                   "bruteforce"])
+    diagnose.add_argument("--report", action="store_true",
+                          help="render a human-readable report (Section 2's "
+                               "'explained to a human supervisor')")
+    diagnose.add_argument("--hidden", default="",
+                          help="comma-separated unreported transitions "
+                               "(Section 4.4 hidden-transition diagnosis)")
+    diagnose.add_argument("--hidden-budget", type=int, default=2,
+                          help="extra hidden events allowed per explanation")
+    diagnose.set_defaults(func=cmd_diagnose)
+
+    render = sub.add_parser("render", help="emit Graphviz DOT for a net")
+    render.add_argument("--scenario", help="built-in scenario name")
+    render.add_argument("--net", help="Petri net JSON file")
+    render.add_argument("--alarms", help="ignored for rendering", default="")
+    render.set_defaults(func=cmd_render)
+
+    experiments = sub.add_parser("experiments", help="run experiment harness")
+    experiments.add_argument("ids", nargs="*", help="experiment ids (default all)")
+    experiments.set_defaults(func=cmd_experiments)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as err:
+        print(f"error: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

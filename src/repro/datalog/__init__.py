@@ -1,0 +1,34 @@
+"""dDatalog: Datalog with function symbols and located (``R@peer``) atoms.
+
+This package implements the deductive-database substrate of the paper
+(Section 3): terms with function symbols, rules with inequality
+constraints, naive and semi-naive bottom-up evaluation, adornments, the
+Query-Sub-Query rewriting of Figure 4, and Magic Sets as a sibling
+technique.  The distributed extensions (dDatalog programs spread over
+peers, dQSQ) live in :mod:`repro.distributed`.
+"""
+
+from repro.datalog.term import Const, Var, Func, Term
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.rule import Rule, Program, Query
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program, parse_rule, parse_atom, parse_term
+from repro.datalog.naive import NaiveEvaluator
+from repro.datalog.seminaive import SemiNaiveEvaluator, EvaluationBudget
+from repro.datalog.adornment import Adornment, adorn_program
+from repro.datalog.qsq import QsqRewriting, qsq_rewrite, qsq_evaluate
+from repro.datalog.qsqr import QsqrEvaluator, qsqr_evaluate
+from repro.datalog.magic import magic_rewrite
+
+__all__ = [
+    "Const", "Var", "Func", "Term",
+    "Atom", "Inequality",
+    "Rule", "Program", "Query",
+    "Database",
+    "parse_program", "parse_rule", "parse_atom", "parse_term",
+    "NaiveEvaluator", "SemiNaiveEvaluator", "EvaluationBudget",
+    "Adornment", "adorn_program",
+    "QsqRewriting", "qsq_rewrite", "qsq_evaluate",
+    "QsqrEvaluator", "qsqr_evaluate",
+    "magic_rewrite",
+]

@@ -1,0 +1,150 @@
+"""An indexed fact store.
+
+Facts are tuples of ground terms stored per relation key ``(name, peer)``.
+Secondary hash indices are built lazily per (relation, bound-positions)
+pattern and maintained incrementally, which keeps the semi-naive and QSQ
+evaluators' joins near-linear.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable, Iterator, Mapping, Sequence
+
+from repro.datalog.atom import Atom
+from repro.datalog.term import Term, Var, is_ground
+
+Fact = tuple[Term, ...]
+RelationKey = tuple[str, str | None]
+
+
+class Database:
+    """A mutable set of ground facts with per-relation indices."""
+
+    def __init__(self) -> None:
+        self._facts: dict[RelationKey, set[Fact]] = defaultdict(set)
+        self._ordered: dict[RelationKey, list[Fact]] = defaultdict(list)
+        #: per-relation registry of (positions, index) pairs so that
+        #: inserts only touch the affected relation's indices
+        self._indices: dict[RelationKey,
+                            dict[tuple[int, ...],
+                                 dict[tuple[Term, ...], list[Fact]]]] = {}
+        #: append-only log of keys that received a new fact; incremental
+        #: consumers (evaluator frontiers, dQSQ dispatch) keep cursors
+        #: into it instead of scanning every relation
+        self._change_log: list[RelationKey] = []
+        self._size = 0
+
+    # -- mutation ---------------------------------------------------------
+
+    def add(self, key: RelationKey, fact: Sequence[Term]) -> bool:
+        """Insert a ground fact; returns True when it was new."""
+        tup = tuple(fact)
+        if not all(is_ground(t) for t in tup):
+            raise ValueError(f"fact {tup} for {key} is not ground")
+        store = self._facts[key]
+        if tup in store:
+            return False
+        store.add(tup)
+        self._ordered[key].append(tup)
+        self._change_log.append(key)
+        self._size += 1
+        registry = self._indices.get(key)
+        if registry:
+            for positions, index in registry.items():
+                index_key = tuple(tup[i] for i in positions)
+                index.setdefault(index_key, []).append(tup)
+        return True
+
+    def add_atom(self, atom: Atom) -> bool:
+        """Insert a ground atom as a fact."""
+        if not atom.is_ground():
+            raise ValueError(f"atom {atom} is not ground")
+        return self.add(atom.key(), atom.args)
+
+    def add_all(self, key: RelationKey, facts: Iterable[Sequence[Term]]) -> int:
+        """Insert many facts; returns how many were new."""
+        return sum(1 for f in facts if self.add(key, f))
+
+    # -- lookup -----------------------------------------------------------
+
+    def facts(self, key: RelationKey) -> Sequence[Fact]:
+        """All facts of a relation, in insertion order."""
+        return self._ordered.get(key, ())
+
+    def contains(self, key: RelationKey, fact: Sequence[Term]) -> bool:
+        return tuple(fact) in self._facts.get(key, ())
+
+    def contains_atom(self, atom: Atom) -> bool:
+        return self.contains(atom.key(), atom.args)
+
+    def count(self, key: RelationKey) -> int:
+        return len(self._facts.get(key, ()))
+
+    def total_facts(self) -> int:
+        return self._size
+
+    def change_log(self) -> Sequence[RelationKey]:
+        """Append-only log of keys that gained a fact, in insertion order.
+
+        Incremental consumers remember a position and read the suffix;
+        duplicates mean "several facts arrived for this key".
+        """
+        return self._change_log
+
+    def relations(self) -> Iterator[RelationKey]:
+        return iter(self._facts.keys())
+
+    def candidates(self, key: RelationKey, pattern: Sequence[Term],
+                   binding: Mapping[Var, Term]) -> Sequence[Fact]:
+        """Facts of ``key`` that can possibly match ``pattern`` under ``binding``.
+
+        Uses a hash index over the positions whose pattern argument is
+        ground (either a constant/ground function term, or a variable
+        bound to one).  Falls back to a full scan when nothing is bound.
+        """
+        positions: list[int] = []
+        values: list[Term] = []
+        for i, arg in enumerate(pattern):
+            if isinstance(arg, Var):
+                bound = binding.get(arg)
+                if bound is not None:
+                    positions.append(i)
+                    values.append(bound)
+            elif is_ground(arg):
+                positions.append(i)
+                values.append(arg)
+        if not positions:
+            return self.facts(key)
+        index = self._index(key, tuple(positions))
+        return index.get(tuple(values), ())
+
+    def _index(self, key: RelationKey,
+               positions: tuple[int, ...]) -> dict[tuple[Term, ...], list[Fact]]:
+        registry = self._indices.setdefault(key, {})
+        index = registry.get(positions)
+        if index is None:
+            index = {}
+            for fact in self._ordered.get(key, ()):
+                index_key = tuple(fact[i] for i in positions)
+                index.setdefault(index_key, []).append(fact)
+            registry[positions] = index
+        return index
+
+    # -- misc ---------------------------------------------------------------
+
+    def snapshot_counts(self) -> dict[RelationKey, int]:
+        return {key: len(facts) for key, facts in self._facts.items() if facts}
+
+    def copy(self) -> "Database":
+        out = Database()
+        for key, facts in self._ordered.items():
+            for fact in facts:
+                out.add(key, fact)
+        return out
+
+    def __len__(self) -> int:
+        return self.total_facts()
+
+    def __repr__(self) -> str:
+        return f"Database({self.total_facts()} facts, {len(self._facts)} relations)"

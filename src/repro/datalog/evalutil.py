@@ -1,0 +1,100 @@
+"""Shared rule-body matching machinery for the bottom-up evaluators.
+
+A rule body is matched left to right (the paper's sideways-information
+passing order); each body atom is matched against the fact store using
+the best available index, inequalities are checked as soon as both sides
+are ground, and negated atoms (stratified extension only) are checked
+once all their variables are bound.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Mapping, Sequence
+
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.database import Database, Fact
+from repro.datalog.rule import Rule
+from repro.datalog.term import Term, Var
+from repro.datalog.unify import match_tuple
+
+
+def iter_rule_bindings(rule: Rule, db: Database,
+                       initial: Mapping[Var, Term] | None = None,
+                       delta_position: int | None = None,
+                       delta_facts: Sequence[Fact] | None = None,
+                       negation_db: Database | None = None) -> Iterator[dict[Var, Term]]:
+    """Yield all bindings of ``rule``'s body variables against ``db``.
+
+    When ``delta_position`` is given, the atom at that body position is
+    matched only against ``delta_facts`` (semi-naive restriction); all
+    other atoms are matched against the full ``db``.
+
+    Negated atoms are checked against ``negation_db`` (default ``db``)
+    after the positive body is fully matched -- valid because stratified
+    evaluation guarantees the negated relations are already complete.
+    """
+    pending = _order_inequalities(rule)
+    neg_db = negation_db if negation_db is not None else db
+
+    def recurse(position: int, binding: dict[Var, Term]) -> Iterator[dict[Var, Term]]:
+        if position == len(rule.body):
+            for atom in rule.negated:
+                ground = atom.substitute(binding)
+                if neg_db.contains_atom(ground):
+                    return
+            yield binding
+            return
+        atom = rule.body[position]
+        if delta_position is not None and position == delta_position:
+            source: Sequence[Fact] = delta_facts or ()
+        else:
+            source = db.candidates(atom.key(), atom.args, binding)
+        for fact in source:
+            extended = dict(binding)
+            if not match_tuple(atom.args, fact, extended):
+                continue
+            if not _inequalities_hold(pending.get(position, ()), extended):
+                continue
+            yield from recurse(position + 1, extended)
+
+    start = dict(initial) if initial else {}
+    if not _inequalities_hold(pending.get(-1, ()), start):
+        return
+    yield from recurse(0, start)
+
+
+def _order_inequalities(rule: Rule) -> dict[int, tuple[Inequality, ...]]:
+    """Assign each inequality to the earliest body position binding its vars.
+
+    Position ``-1`` holds constraints that are ground from the start (or
+    become ground via the initial binding -- checked opportunistically).
+    """
+    seen: set[Var] = set()
+    placement: dict[int, list[Inequality]] = {}
+    remaining = list(rule.inequalities)
+    ground_now = [c for c in remaining if not set(c.variables())]
+    if ground_now:
+        placement[-1] = ground_now
+        remaining = [c for c in remaining if set(c.variables())]
+    for position, atom in enumerate(rule.body):
+        seen.update(atom.variables())
+        here = [c for c in remaining if set(c.variables()) <= seen]
+        if here:
+            placement[position] = here
+            remaining = [c for c in remaining if c not in here]
+    # Anything left mentions variables not in the body; Rule validation
+    # rejects that, so ``remaining`` is empty here.
+    return {k: tuple(v) for k, v in placement.items()}
+
+
+def _inequalities_hold(constraints: Sequence[Inequality],
+                       binding: Mapping[Var, Term]) -> bool:
+    for constraint in constraints:
+        if constraint.is_decidable(binding) and not constraint.holds(binding):
+            return False
+    return True
+
+
+def derive_head(rule: Rule, binding: Mapping[Var, Term]) -> Atom:
+    """Instantiate the rule head under a complete body binding."""
+    return rule.head.substitute(binding)

@@ -1,0 +1,284 @@
+"""A small text syntax for (d)Datalog programs.
+
+Grammar (informally)::
+
+    program  := (rule | comment)*
+    rule     := atom ( ":-" bodyitem ("," bodyitem)* )? "."
+    bodyitem := atom | "not" atom | term "!=" term
+    atom     := NAME ("@" NAME)? "(" term ("," term)* ")"
+    term     := VARIABLE | constant | NAME "(" term ("," term)* ")"
+    constant := '"' chars '"' | INTEGER | NAME        (bare names are constants)
+
+Variables start with an uppercase letter or ``_``; everything else
+starting with a letter is a (relation / function / constant) name.
+Comments run from ``%`` or ``#`` to the end of the line.
+
+Example::
+
+    r@r(X, Y) :- s@s(X, Z), t@t(Z, Y), X != Y.   % Figure 3 style
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, NamedTuple
+
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.rule import Program, Rule
+from repro.datalog.term import Const, Func, Term, Var
+from repro.errors import ParseError
+
+
+class _Token(NamedTuple):
+    kind: str   # NAME, VAR, STRING, INT, PUNCT
+    text: str
+    line: int
+    column: int
+
+
+_PUNCT = (":-", "!=", "(", ")", ",", ".", "@", "?-")
+
+
+def _tokenize(text: str) -> Iterator[_Token]:
+    line, column = 1, 1
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "\n":
+            line += 1
+            column = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            column += 1
+            continue
+        if ch in "%#":
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        two = text[i:i + 2]
+        if two in (":-", "!=", "?-"):
+            yield _Token("PUNCT", two, line, column)
+            i += 2
+            column += 2
+            continue
+        if ch in "(),.@":
+            yield _Token("PUNCT", ch, line, column)
+            i += 1
+            column += 1
+            continue
+        if ch == '"':
+            j = i + 1
+            buf = []
+            while j < n and text[j] != '"':
+                if text[j] == "\n":
+                    raise ParseError("unterminated string", line, column)
+                buf.append(text[j])
+                j += 1
+            if j >= n:
+                raise ParseError("unterminated string", line, column)
+            yield _Token("STRING", "".join(buf), line, column)
+            column += j + 1 - i
+            i = j + 1
+            continue
+        if ch.isdigit() or (ch == "-" and i + 1 < n and text[i + 1].isdigit()):
+            j = i + 1
+            while j < n and text[j].isdigit():
+                j += 1
+            yield _Token("INT", text[i:j], line, column)
+            column += j - i
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i
+            while j < n and (text[j].isalnum() or text[j] in "_'"):
+                j += 1
+            word = text[i:j]
+            kind = "VAR" if (ch.isupper() or ch == "_") else "NAME"
+            yield _Token(kind, word, line, column)
+            column += j - i
+            i = j
+            continue
+        raise ParseError(f"unexpected character {ch!r}", line, column)
+
+
+class _Parser:
+    def __init__(self, text: str) -> None:
+        self._tokens = list(_tokenize(text))
+        self._pos = 0
+
+    def _peek(self) -> _Token | None:
+        if self._pos < len(self._tokens):
+            return self._tokens[self._pos]
+        return None
+
+    def _next(self) -> _Token:
+        tok = self._peek()
+        if tok is None:
+            last = self._tokens[-1] if self._tokens else None
+            raise ParseError("unexpected end of input",
+                             last.line if last else None,
+                             last.column if last else None)
+        self._pos += 1
+        return tok
+
+    def _expect(self, text: str) -> _Token:
+        tok = self._next()
+        if tok.text != text:
+            raise ParseError(f"expected {text!r}, found {tok.text!r}", tok.line, tok.column)
+        return tok
+
+    def at_end(self) -> bool:
+        return self._pos >= len(self._tokens)
+
+    def parse_program(self) -> Program:
+        program = Program()
+        while not self.at_end():
+            program.add(self.parse_rule())
+        return program
+
+    def parse_rule(self) -> Rule:
+        head = self.parse_atom()
+        body: list[Atom] = []
+        negated: list[Atom] = []
+        inequalities: list[Inequality] = []
+        tok = self._peek()
+        if tok is not None and tok.text == ":-":
+            self._next()
+            while True:
+                self._parse_body_item(body, negated, inequalities)
+                tok = self._peek()
+                if tok is not None and tok.text == ",":
+                    self._next()
+                    continue
+                break
+        self._expect(".")
+        return Rule(head, body, inequalities, negated)
+
+    def _parse_body_item(self, body: list[Atom], negated: list[Atom],
+                         inequalities: list[Inequality]) -> None:
+        tok = self._peek()
+        if tok is not None and tok.kind == "NAME" and tok.text == "not":
+            nxt = self._tokens[self._pos + 1] if self._pos + 1 < len(self._tokens) else None
+            if nxt is not None and nxt.kind == "NAME":
+                self._next()
+                negated.append(self.parse_atom())
+                return
+        # An item is either an atom or an inequality; parse a term and look
+        # ahead for "!=".  Atoms begin with NAME followed by "(" or "@".
+        if tok is not None and tok.kind == "NAME":
+            nxt = self._tokens[self._pos + 1] if self._pos + 1 < len(self._tokens) else None
+            if nxt is not None and nxt.text in ("(", "@"):
+                save = self._pos
+                atom = self.parse_atom()
+                after = self._peek()
+                if after is not None and after.text == "!=":
+                    # It was a function term after all (rare); reparse as term.
+                    self._pos = save
+                else:
+                    body.append(atom)
+                    return
+        left = self.parse_term()
+        self._expect("!=")
+        right = self.parse_term()
+        inequalities.append(Inequality(left, right))
+
+    def parse_atom(self) -> Atom:
+        tok = self._next()
+        if tok.kind != "NAME":
+            raise ParseError(f"expected relation name, found {tok.text!r}",
+                             tok.line, tok.column)
+        relation = tok.text
+        peer: str | None = None
+        nxt = self._peek()
+        if nxt is not None and nxt.text == "@":
+            self._next()
+            peer_tok = self._next()
+            if peer_tok.kind not in ("NAME", "VAR", "INT"):
+                raise ParseError(f"expected peer name, found {peer_tok.text!r}",
+                                 peer_tok.line, peer_tok.column)
+            if peer_tok.kind == "VAR":
+                raise ParseError("peer names must be constants in dDatalog",
+                                 peer_tok.line, peer_tok.column)
+            peer = peer_tok.text
+        self._expect("(")
+        args: list[Term] = []
+        tok = self._peek()
+        if tok is not None and tok.text != ")":
+            args.append(self.parse_term())
+            while True:
+                tok = self._peek()
+                if tok is not None and tok.text == ",":
+                    self._next()
+                    args.append(self.parse_term())
+                else:
+                    break
+        self._expect(")")
+        return Atom(relation, args, peer)
+
+    def parse_term(self) -> Term:
+        tok = self._next()
+        if tok.kind == "VAR":
+            return Var(tok.text)
+        if tok.kind == "STRING":
+            return Const(tok.text)
+        if tok.kind == "INT":
+            return Const(int(tok.text))
+        if tok.kind == "NAME":
+            nxt = self._peek()
+            if nxt is not None and nxt.text == "(":
+                self._next()
+                args: list[Term] = []
+                tok2 = self._peek()
+                if tok2 is not None and tok2.text != ")":
+                    args.append(self.parse_term())
+                    while True:
+                        tok2 = self._peek()
+                        if tok2 is not None and tok2.text == ",":
+                            self._next()
+                            args.append(self.parse_term())
+                        else:
+                            break
+                self._expect(")")
+                return Func(tok.text, args)
+            return Const(tok.text)
+        raise ParseError(f"expected term, found {tok.text!r}", tok.line, tok.column)
+
+
+def parse_program(text: str) -> Program:
+    """Parse a whole program (facts and rules)."""
+    return _Parser(text).parse_program()
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse a single rule (must end with a period)."""
+    parser = _Parser(text)
+    rule = parser.parse_rule()
+    if not parser.at_end():
+        tok = parser._peek()
+        raise ParseError("trailing input after rule",
+                         tok.line if tok else None, tok.column if tok else None)
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, e.g. ``r@p(X, "1")``."""
+    parser = _Parser(text)
+    atom = parser.parse_atom()
+    if not parser.at_end():
+        tok = parser._peek()
+        raise ParseError("trailing input after atom",
+                         tok.line if tok else None, tok.column if tok else None)
+    return atom
+
+
+def parse_term(text: str) -> Term:
+    """Parse a single term, e.g. ``f(X, g(Y, "c"))``."""
+    parser = _Parser(text)
+    term = parser.parse_term()
+    if not parser.at_end():
+        tok = parser._peek()
+        raise ParseError("trailing input after term",
+                         tok.line if tok else None, tok.column if tok else None)
+    return term

@@ -1,0 +1,171 @@
+"""QSQR: the iterative *recursive* Query-Sub-Query evaluation.
+
+The paper presents QSQ as a rewriting (Figure 4); the original
+formulation (Vieille [34]) is an evaluation strategy that manages
+demand and answer tables directly.  This module implements the
+iterative QSQR variant: a global worklist of demands ``(R^ad, bound
+tuple)``, per-adorned-relation answer tables, and repeated passes until
+no new answer or demand appears.
+
+It computes exactly the same answers as the rewriting-based
+:func:`repro.datalog.qsq.qsq_evaluate` (a property the tests check on
+every program in the suite) while materializing only answer and demand
+tables -- no supplementary relations.  Comparing the two is ablation
+A5: the rewriting trades sup-tuple storage for join reuse; QSQR redoes
+prefix joins on every pass but stores less.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.adornment import Adornment
+from repro.datalog.database import Database, Fact, RelationKey
+from repro.datalog.rule import Program, Query, Rule
+from repro.datalog.seminaive import EvaluationBudget
+from repro.datalog.term import Term, Var, is_ground, substitute
+from repro.datalog.unify import match, match_tuple
+from repro.errors import BudgetExceeded
+from repro.utils.counters import Counters
+
+AdornedKey = tuple[str, str | None, str]
+
+
+@dataclass
+class QsqrResult:
+    """Answers plus the table sizes (the QSQR materialization measure)."""
+
+    answers: set[Fact]
+    counters: Counters
+    answer_tables: dict[AdornedKey, set[Fact]] = field(repr=False,
+                                                       default_factory=dict)
+    demand_tables: dict[AdornedKey, set[tuple[Term, ...]]] = field(
+        repr=False, default_factory=dict)
+
+
+class QsqrEvaluator:
+    """Iterative QSQR over a program and an EDB store."""
+
+    def __init__(self, program: Program,
+                 budget: EvaluationBudget | None = None) -> None:
+        self.program = program
+        self.budget = budget or EvaluationBudget()
+        self.counters = Counters()
+        self._idb: set[RelationKey] = program.idb_relations()
+
+    def query(self, query: Query, db: Database) -> QsqrResult:
+        """Evaluate ``query`` against ``db`` (program facts included)."""
+        for fact in self.program.facts():
+            if fact.head.key() not in self._idb:
+                db.add_atom(fact.head)
+
+        atom = query.atom
+        if atom.key() not in self._idb:
+            answers = {f for f in db.facts(atom.key())
+                       if match_tuple(atom.args, f, {})}
+            return QsqrResult(answers=answers, counters=self.counters)
+
+        adornment = Adornment.from_atom(atom)
+        seed_key = (atom.relation, atom.peer, adornment.pattern)
+        seed_tuple = adornment.select_bound(atom.args)
+
+        answers: dict[AdornedKey, set[Fact]] = {}
+        demands: dict[AdornedKey, set[tuple[Term, ...]]] = {seed_key: {seed_tuple}}
+
+        # Iterate to a global fixpoint: every pass replays every demand
+        # against the current answer tables.
+        passes = 0
+        while True:
+            passes += 1
+            if passes > self.budget.max_iterations:
+                raise BudgetExceeded("iterations", self.budget.max_iterations)
+            before = (sum(len(v) for v in answers.values()),
+                      sum(len(v) for v in demands.values()))
+            for key in list(demands):
+                relation, peer, pattern = key
+                for bound in list(demands[key]):
+                    self._process_demand(key, bound, db, answers, demands)
+            after = (sum(len(v) for v in answers.values()),
+                     sum(len(v) for v in demands.values()))
+            if after == before:
+                break
+        self.counters.add("qsqr_passes", passes)
+        self.counters.add("qsqr_answer_tuples",
+                          sum(len(v) for v in answers.values()))
+        self.counters.add("qsqr_demand_tuples",
+                          sum(len(v) for v in demands.values()))
+
+        final = {f for f in answers.get(seed_key, set())
+                 if match_tuple(atom.args, f, {})}
+        return QsqrResult(answers=final, counters=self.counters,
+                          answer_tables=answers, demand_tables=demands)
+
+    # -- demand processing ---------------------------------------------------------
+
+    def _process_demand(self, key: AdornedKey, bound: tuple[Term, ...],
+                        db: Database, answers: dict, demands: dict) -> None:
+        relation, peer, pattern = key
+        adornment = Adornment(pattern)
+        for rule in self.program.rules_for(relation, peer):
+            binding: dict[Var, Term] = {}
+            ok = True
+            for position, value in zip(adornment.bound_positions(), bound):
+                if not match(rule.head.args[position], value, binding):
+                    ok = False
+                    break
+            if not ok:
+                continue
+            self._evaluate_body(rule, 0, binding, db, answers, demands, key)
+
+    def _evaluate_body(self, rule: Rule, position: int, binding: dict,
+                       db: Database, answers: dict, demands: dict,
+                       target: AdornedKey) -> None:
+        if position == len(rule.body):
+            for constraint in rule.inequalities:
+                if not constraint.holds(binding):
+                    return
+            head = rule.head.substitute(binding)
+            if self.budget.prunes_atom(head):
+                self.counters.add("pruned_deep_facts")
+                return
+            table = answers.setdefault(target, set())
+            if head.args not in table:
+                table.add(head.args)
+                self.counters.add("facts_materialized")
+                if sum(len(v) for v in answers.values()) > self.budget.max_facts:
+                    raise BudgetExceeded("facts", self.budget.max_facts)
+            return
+
+        atom = rule.body[position]
+        # Inequalities decidable now are checked eagerly (pruning).
+        for constraint in rule.inequalities:
+            if constraint.is_decidable(binding) and not constraint.holds(binding):
+                return
+
+        if atom.key() in self._idb:
+            bound_vars = set(binding)
+            body_adornment = Adornment.from_atom(atom, bound_vars)
+            sub_key = (atom.relation, atom.peer, body_adornment.pattern)
+            demand = tuple(substitute(arg, binding)
+                           for arg in body_adornment.select_bound(atom.args))
+            if all(is_ground(t) for t in demand):
+                demands.setdefault(sub_key, set()).add(demand)
+            # Snapshot: recursive rules extend this very table mid-join;
+            # additions are picked up on the next global pass.
+            source = list(answers.get(sub_key, ()))
+        else:
+            source = db.candidates(atom.key(), atom.args, binding)
+
+        for fact in source:
+            extended = dict(binding)
+            if match_tuple(atom.args, fact, extended):
+                self._evaluate_body(rule, position + 1, extended, db,
+                                    answers, demands, target)
+
+
+def qsqr_evaluate(program: Program, query: Query, db: Database | None = None,
+                  budget: EvaluationBudget | None = None) -> QsqrResult:
+    """Convenience wrapper mirroring :func:`repro.datalog.qsq.qsq_evaluate`."""
+    work_db = db.copy() if db is not None else Database()
+    evaluator = QsqrEvaluator(program, budget)
+    return evaluator.query(query, work_db)

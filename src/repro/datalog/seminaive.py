@@ -1,0 +1,216 @@
+"""Semi-naive bottom-up evaluation with resource budgets.
+
+Semi-naive evaluation restricts each join so that at least one IDB body
+atom is matched against the *delta* of the previous round, avoiding
+rediscovery of old facts.  It computes the same minimal model as naive
+evaluation (a property-tested invariant) and is the workhorse under the
+QSQ and Magic-Set rewritings: the paper's Figure-4 program is itself a
+Datalog program, and evaluating it semi-naively *is* the QSQ evaluation.
+
+Because dDatalog has function symbols, fixpoints may be infinite; the
+:class:`EvaluationBudget` makes every run either terminate, raise
+:class:`~repro.errors.BudgetExceeded`, or -- in ``prune_depth`` mode --
+terminate with an explicitly truncated model (the Section-4.4 gadget
+"bounding the depth of the unfolding").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.datalog.atom import Atom
+from repro.datalog.database import Database, Fact, RelationKey
+from repro.datalog.evalutil import derive_head, iter_rule_bindings
+from repro.datalog.rule import Program, Query, Rule
+from repro.datalog.term import term_depth
+from repro.errors import BudgetExceeded
+from repro.utils.counters import Counters
+
+
+@dataclass(frozen=True)
+class EvaluationBudget:
+    """Resource limits for a bottom-up run.
+
+    ``max_term_depth`` bounds the nesting depth of derived head terms.
+    With ``prune_depth=False`` (default) exceeding it raises
+    :class:`BudgetExceeded`; with ``prune_depth=True`` too-deep facts are
+    silently dropped, yielding a depth-bounded model (the unfolding-depth
+    gadget of Section 4.4).
+    """
+
+    max_iterations: int = 10_000
+    max_facts: int = 2_000_000
+    max_term_depth: int | None = None
+    prune_depth: bool = False
+
+    def prunes_atom(self, atom: Atom) -> bool:
+        """True when the atom is over-deep and pruning mode is on."""
+        if self.max_term_depth is None:
+            return False
+        depth = max((term_depth(a) for a in atom.args), default=0)
+        if depth <= self.max_term_depth:
+            return False
+        if self.prune_depth:
+            return True
+        raise BudgetExceeded("term_depth", self.max_term_depth)
+
+
+class IncrementalEvaluator:
+    """Semi-naive evaluation with a persistent frontier.
+
+    Built for the distributed engines: a peer's rule set *grows* over
+    time (lazy rewriting installs fragments; delegations arrive) and its
+    fact store receives external tuples between fixpoints.  The
+    evaluator keeps a per-relation cursor into the (append-only) fact
+    lists: every fact beyond the cursor is an unprocessed delta, and
+    every newly added rule fires once against the full store before
+    joining the delta regime.  Repeated calls to :meth:`run` therefore
+    cost time proportional to the *new* work, not to the whole history.
+    """
+
+    def __init__(self, db: Database, budget: EvaluationBudget | None = None) -> None:
+        self.db = db
+        self.budget = budget or EvaluationBudget()
+        self.counters = Counters()
+        self._rules: list[Rule] = []
+        self._seen_rules: set[Rule] = set()
+        self._pending_rules: list[Rule] = []
+        self._by_body: dict[RelationKey, list[tuple[Rule, int]]] = defaultdict(list)
+        self._cursor: dict[RelationKey, int] = {}
+        self._log_position = 0
+
+    def add_rule(self, rule: Rule) -> bool:
+        """Register a rule; facts go straight to the store."""
+        if rule in self._seen_rules:
+            return False
+        self._seen_rules.add(rule)
+        if rule.is_fact():
+            if self.db.add_atom(rule.head):
+                self.counters.add("facts_materialized")
+            return True
+        self._pending_rules.append(rule)
+        return True
+
+    def run(self) -> None:
+        """Process pending rules and unprocessed facts to a fixpoint."""
+        iterations = 0
+        while True:
+            iterations += 1
+            if iterations > self.budget.max_iterations:
+                raise BudgetExceeded("iterations", self.budget.max_iterations)
+            progressed = False
+            pending, self._pending_rules = self._pending_rules, []
+            for rule in pending:
+                self._rules.append(rule)
+                for position, atom in enumerate(rule.body):
+                    self._by_body[atom.key()].append((rule, position))
+                self._fire(rule, None, ())
+                progressed = True
+            # Only relations named in the change-log suffix can have new
+            # facts: no full scan over the (large) relation space.
+            log = self.db.change_log()
+            touched: dict[RelationKey, None] = {}
+            for key in log[self._log_position:]:
+                touched[key] = None
+            self._log_position = len(log)
+            for key in touched:
+                facts = self.db.facts(key)
+                start = self._cursor.get(key, 0)
+                if start >= len(facts):
+                    continue
+                new = list(facts[start:])
+                self._cursor[key] = len(facts)
+                progressed = True
+                for rule, position in self._by_body.get(key, ()):
+                    self._fire(rule, position, new)
+            if not progressed:
+                return
+
+    def _fire(self, rule: Rule, delta_position: int | None,
+              delta_facts: Sequence[Fact]) -> None:
+        derived: list[Atom] = []
+        for binding in iter_rule_bindings(rule, self.db, delta_position=delta_position,
+                                          delta_facts=delta_facts):
+            head = derive_head(rule, binding)
+            self.counters.add("derivations")
+            if self.budget.prunes_atom(head):
+                self.counters.add("pruned_deep_facts")
+                continue
+            derived.append(head)
+        for head in derived:
+            if self.db.add_atom(head):
+                self.counters.add("facts_materialized")
+                if self.db.total_facts() > self.budget.max_facts:
+                    raise BudgetExceeded("facts", self.budget.max_facts)
+
+
+class SemiNaiveEvaluator:
+    """Semi-naive fixpoint evaluation of a program over a database."""
+
+    def __init__(self, program: Program,
+                 budget: EvaluationBudget | None = None) -> None:
+        self.program = program
+        self.budget = budget or EvaluationBudget()
+        self.counters = Counters()
+        self._idb: set[RelationKey] = program.idb_relations()
+
+    def run(self, db: Database) -> Database:
+        """Evaluate to fixpoint in place; returns ``db``."""
+        for fact in self.program.facts():
+            if db.add_atom(fact.head):
+                self.counters.add("facts_materialized")
+
+        rules = [r for r in self.program.proper_rules()]
+        rules_by_body: dict[RelationKey, list[tuple[Rule, int]]] = defaultdict(list)
+        for rule in rules:
+            for position, atom in enumerate(rule.body):
+                rules_by_body[atom.key()].append((rule, position))
+
+        # Round 0: every rule fires against the initial database.
+        delta: dict[RelationKey, list[Fact]] = defaultdict(list)
+        for rule in rules:
+            self._fire(rule, db, None, (), delta)
+
+        iterations = 0
+        while delta:
+            iterations += 1
+            if iterations > self.budget.max_iterations:
+                raise BudgetExceeded("iterations", self.budget.max_iterations)
+            next_delta: dict[RelationKey, list[Fact]] = defaultdict(list)
+            for key, facts in delta.items():
+                for rule, position in rules_by_body.get(key, ()):
+                    self._fire(rule, db, position, facts, next_delta)
+            delta = next_delta
+        self.counters.add("iterations", iterations)
+        return db
+
+    def answers(self, db: Database, query: Query) -> set[Fact]:
+        """Evaluate and return the facts matching the query atom."""
+        from repro.datalog.naive import select
+        self.run(db)
+        return select(db, query.atom)
+
+    def _fire(self, rule: Rule, db: Database, delta_position: int | None,
+              delta_facts: Sequence[Fact],
+              out_delta: dict[RelationKey, list[Fact]]) -> None:
+        # Derived heads are buffered and inserted only after the join
+        # completes: inserting mid-join would extend the very fact lists
+        # being iterated and make a single firing run away on recursive
+        # rules with function symbols.
+        derived: list[Atom] = []
+        for binding in iter_rule_bindings(rule, db, delta_position=delta_position,
+                                          delta_facts=delta_facts):
+            head = derive_head(rule, binding)
+            self.counters.add("derivations")
+            if self.budget.prunes_atom(head):
+                self.counters.add("pruned_deep_facts")
+                continue
+            derived.append(head)
+        for head in derived:
+            if db.add_atom(head):
+                self.counters.add("facts_materialized")
+                out_delta[head.key()].append(head.args)
+                if db.total_facts() > self.budget.max_facts:
+                    raise BudgetExceeded("facts", self.budget.max_facts)

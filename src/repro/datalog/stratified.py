@@ -1,0 +1,107 @@
+"""Stratified negation (the paper's Remark 4 extension).
+
+The diagnosis program defines ``causal`` and ``notCausal`` positively,
+noting that one of the two could be saved by using negation "with a
+stratified flavor".  This module provides the machinery: stratification
+of a program with negated body atoms, and stratum-by-stratum semi-naive
+evaluation.  The ablation A2 of DESIGN.md evaluates the diagnosis
+encoding in both styles.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.datalog.database import Database, RelationKey
+from repro.datalog.rule import Program
+from repro.datalog.seminaive import EvaluationBudget, SemiNaiveEvaluator
+from repro.errors import ValidationError
+from repro.utils.counters import Counters
+from repro.utils.orders import strongly_connected_components
+
+
+def stratify(program: Program) -> list[Program]:
+    """Split ``program`` into strata; raises if not stratifiable.
+
+    Each stratum is a sub-program whose negated body atoms refer only to
+    relations fully defined in earlier strata.  Facts of EDB relations
+    are placed in the first stratum.
+    """
+    idb = program.idb_relations()
+    positive_edges: dict[RelationKey, set[RelationKey]] = defaultdict(set)
+    negative_edges: dict[RelationKey, set[RelationKey]] = defaultdict(set)
+    for rule in program.proper_rules():
+        head = rule.head.key()
+        for atom in rule.body:
+            if atom.key() in idb:
+                positive_edges[head].add(atom.key())
+        for atom in rule.negated:
+            if atom.key() in idb:
+                negative_edges[head].add(atom.key())
+
+    relations = sorted(idb, key=str)
+    successors = {r: positive_edges[r] | negative_edges[r] for r in relations}
+    components = strongly_connected_components(relations, successors)
+
+    component_of: dict[RelationKey, int] = {}
+    for index, component in enumerate(components):
+        for relation in component:
+            component_of[relation] = index
+
+    # A negative edge inside one SCC means negation through recursion.
+    for head, targets in negative_edges.items():
+        for target in targets:
+            if component_of.get(head) == component_of.get(target):
+                raise ValidationError(
+                    f"program is not stratifiable: {head} negatively depends on "
+                    f"{target} within a recursive component")
+
+    # Stratum number = longest chain of negative edges below (computed by
+    # fixpoint over components; Tarjan returns reverse topological order,
+    # so dependencies come first).
+    stratum_of: dict[RelationKey, int] = {}
+    for component in components:
+        level = 0
+        for relation in component:
+            for target in positive_edges[relation]:
+                if target in stratum_of:
+                    level = max(level, stratum_of[target])
+            for target in negative_edges[relation]:
+                if target in stratum_of:
+                    level = max(level, stratum_of[target] + 1)
+        for relation in component:
+            stratum_of[relation] = level
+
+    highest = max(stratum_of.values(), default=0)
+    strata = [Program() for _ in range(highest + 1)]
+    for fact in program.facts():
+        target = stratum_of.get(fact.head.key(), 0)
+        strata[target].add(fact)
+    for rule in program.proper_rules():
+        strata[stratum_of[rule.head.key()]].add(rule)
+    return strata
+
+
+class StratifiedEvaluator:
+    """Evaluates a stratified program stratum by stratum, semi-naively."""
+
+    def __init__(self, program: Program,
+                 budget: EvaluationBudget | None = None) -> None:
+        self.program = program
+        self.budget = budget or EvaluationBudget()
+        self.counters = Counters()
+        self.strata = stratify(program)
+
+    def run(self, db: Database) -> Database:
+        """Evaluate all strata in order over the shared database."""
+        for index, stratum in enumerate(self.strata):
+            evaluator = SemiNaiveEvaluator(stratum, self.budget)
+            evaluator.run(db)
+            self.counters.merge(evaluator.counters)
+            self.counters.add(f"stratum_{index}_rules", len(stratum))
+        return db
+
+
+def has_negation(program: Program) -> bool:
+    """True when any rule carries a negated body atom."""
+    return any(rule.negated for rule in program)

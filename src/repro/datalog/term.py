@@ -1,0 +1,152 @@
+"""Terms of dDatalog: constants, variables and function terms.
+
+The paper departs from classical Datalog by allowing function symbols
+(Section 3, "Syntax"): they are needed to create the node identifiers of
+the Petri-net unfolding (the Skolem functions ``f``, ``g`` of Section 4.1
+and ``h`` of Section 4.2).  Terms are immutable, hashable and interned
+where cheap, because evaluation manipulates very large numbers of them.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Union
+
+Term = Union["Const", "Var", "Func"]
+
+
+class Const:
+    """A constant, e.g. ``"p1"`` or a Petri-net node id.
+
+    The payload is an arbitrary hashable Python value; the library uses
+    strings and ints.
+    """
+
+    __slots__ = ("value", "_hash")
+
+    #: groundness is structural and cached per class/instance (hot path)
+    _ground = True
+
+    def __init__(self, value: object) -> None:
+        self.value = value
+        self._hash = hash(("Const", value))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Const) and self.value == other.value
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Const({self.value!r})"
+
+    def __str__(self) -> str:
+        if isinstance(self.value, str):
+            return f'"{self.value}"'
+        return str(self.value)
+
+
+class Var:
+    """A variable, written with a leading uppercase letter in the surface syntax."""
+
+    __slots__ = ("name", "_hash")
+
+    _ground = False
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._hash = hash(("Var", name))
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Var) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+class Func:
+    """A function term ``f(t1, ..., tn)``.
+
+    Function terms serve as Skolem ids: the unfolding rules create node
+    ids ``f(c, u, v)`` / ``g(x, c')`` and the supervisor creates
+    configuration ids ``h(z, x)``.
+    """
+
+    __slots__ = ("name", "args", "_hash", "_ground")
+
+    def __init__(self, name: str, args: Iterable[Term]) -> None:
+        self.name = name
+        self.args = tuple(args)
+        self._hash = hash(("Func", name, self.args))
+        self._ground = all(a._ground for a in self.args)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Func) and self._hash == other._hash
+                and self.name == other.name and self.args == other.args)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Func({self.name!r}, {list(self.args)!r})"
+
+    def __str__(self) -> str:
+        inner = ",".join(str(a) for a in self.args)
+        return f"{self.name}({inner})"
+
+
+def is_ground(term: Term) -> bool:
+    """Return True iff ``term`` contains no variables (O(1): cached)."""
+    return term._ground
+
+
+def term_depth(term: Term) -> int:
+    """Nesting depth of a term; constants and variables have depth 0.
+
+    Used by evaluation budgets: bounding term depth bounds the depth of
+    the unfolding constructed by the Section-4.1 rules (the paper's
+    Section 4.4 mentions exactly this gadget).
+    """
+    if isinstance(term, Func):
+        if not term.args:
+            return 1
+        return 1 + max(term_depth(a) for a in term.args)
+    return 0
+
+
+def variables_of(term: Term) -> Iterator[Var]:
+    """Yield the variables of ``term``, left to right, with repetitions."""
+    if isinstance(term, Var):
+        yield term
+    elif isinstance(term, Func):
+        for arg in term.args:
+            yield from variables_of(arg)
+
+
+def substitute(term: Term, binding: Mapping[Var, Term]) -> Term:
+    """Apply a substitution to ``term`` (non-recursive on bindings).
+
+    The binding is applied once; bound values are assumed already fully
+    substituted (the convention maintained by :mod:`repro.datalog.unify`).
+    """
+    if isinstance(term, Var):
+        return binding.get(term, term)
+    if isinstance(term, Func):
+        if not term.args:
+            return term
+        return Func(term.name, (substitute(a, binding) for a in term.args))
+    return term
+
+
+def constants_of(term: Term) -> Iterator[Const]:
+    """Yield the constants occurring in ``term``."""
+    if isinstance(term, Const):
+        yield term
+    elif isinstance(term, Func):
+        for arg in term.args:
+            yield from constants_of(arg)

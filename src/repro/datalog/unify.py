@@ -1,0 +1,126 @@
+"""Unification and matching over dDatalog terms.
+
+Two operations are needed by the engines:
+
+* :func:`match` -- one-way matching of a (possibly non-ground) pattern
+  against a ground term.  This is the inner loop of bottom-up rule
+  evaluation, where body atoms are matched against stored facts.
+* :func:`unify` -- full syntactic unification.  QSQ demand propagation
+  unifies incoming bound-argument terms with rule-head terms (e.g. a
+  demand ``places^bf(g(x, c'))`` against a head ``places(g(X, c'), X)``).
+
+Bindings are plain dicts ``Var -> Term`` kept *idempotent*: bound values
+never contain variables that are themselves bound.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Optional, Sequence
+
+from repro.datalog.term import Const, Func, Term, Var, substitute
+
+
+def match(pattern: Term, ground: Term,
+          binding: MutableMapping[Var, Term]) -> bool:
+    """Extend ``binding`` so that ``pattern[binding] == ground``.
+
+    Returns True on success.  On failure the binding may contain partial
+    entries; callers snapshot or copy when they need rollback.  ``ground``
+    must be a ground term.
+    """
+    if isinstance(pattern, Var):
+        bound = binding.get(pattern)
+        if bound is None:
+            binding[pattern] = ground
+            return True
+        return bound == ground
+    if isinstance(pattern, Const):
+        return pattern == ground
+    # pattern is Func
+    if not isinstance(ground, Func):
+        return False
+    if pattern.name != ground.name or len(pattern.args) != len(ground.args):
+        return False
+    if pattern._ground:
+        return pattern == ground
+    for p, g in zip(pattern.args, ground.args):
+        if not match(p, g, binding):
+            return False
+    return True
+
+
+def match_tuple(patterns: Sequence[Term], ground: Sequence[Term],
+                binding: MutableMapping[Var, Term]) -> bool:
+    """Match a tuple of patterns against a ground fact tuple."""
+    if len(patterns) != len(ground):
+        return False
+    for p, g in zip(patterns, ground):
+        if not match(p, g, binding):
+            return False
+    return True
+
+
+def unify(left: Term, right: Term,
+          binding: Optional[dict[Var, Term]] = None) -> Optional[dict[Var, Term]]:
+    """Return an mgu of ``left`` and ``right`` extending ``binding``, or None.
+
+    Uses an occurs check; the diagnosis programs never trigger it, but the
+    engine is generic.
+    """
+    out = dict(binding) if binding else {}
+    if _unify_into(left, right, out):
+        return out
+    return None
+
+
+def _unify_into(left: Term, right: Term, binding: dict[Var, Term]) -> bool:
+    left = _walk(left, binding)
+    right = _walk(right, binding)
+    if left == right:
+        return True
+    if isinstance(left, Var):
+        return _bind(left, right, binding)
+    if isinstance(right, Var):
+        return _bind(right, left, binding)
+    if isinstance(left, Func) and isinstance(right, Func):
+        if left.name != right.name or len(left.args) != len(right.args):
+            return False
+        return all(_unify_into(a, b, binding) for a, b in zip(left.args, right.args))
+    return False
+
+
+def _walk(term: Term, binding: Mapping[Var, Term]) -> Term:
+    """Chase variable bindings to their representative."""
+    while isinstance(term, Var) and term in binding:
+        term = binding[term]
+    return term
+
+
+def _occurs(var: Var, term: Term, binding: Mapping[Var, Term]) -> bool:
+    term = _walk(term, binding)
+    if term == var:
+        return True
+    if isinstance(term, Func):
+        return any(_occurs(var, a, binding) for a in term.args)
+    return False
+
+
+def _bind(var: Var, term: Term, binding: dict[Var, Term]) -> bool:
+    if _occurs(var, term, binding):
+        return False
+    # Keep the substitution idempotent: resolve the new value fully, and
+    # rewrite existing values mentioning ``var``.
+    resolved = resolve(term, binding)
+    binding[var] = resolved
+    for key, value in list(binding.items()):
+        if key != var:
+            binding[key] = substitute(value, {var: resolved})
+    return True
+
+
+def resolve(term: Term, binding: Mapping[Var, Term]) -> Term:
+    """Fully apply ``binding`` to ``term`` (chasing chains)."""
+    term = _walk(term, binding)
+    if isinstance(term, Func) and term.args:
+        return Func(term.name, (resolve(a, binding) for a in term.args))
+    return term

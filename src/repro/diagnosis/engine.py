@@ -1,0 +1,167 @@
+"""End-to-end Datalog diagnosis (Section 4.3).
+
+"To perform the diagnosis, the supervisor issues the query
+``q@p0(?, ?)``, which is evaluated with dQSQ."  This module glues the
+Section-4.1/4.2 encodings to an evaluation strategy:
+
+* ``mode="dqsq"`` -- the paper's proposal: distributed evaluation with
+  per-peer lazy rewriting and delegation;
+* ``mode="qsq"``  -- centralized QSQ on the local version (Theorem 1
+  guarantees the same results and materialization);
+* ``mode="bottomup"`` -- unoptimized semi-naive evaluation: it builds
+  the unfolding breadth-first and only terminates under an explicit
+  depth budget (the strawman that motivates QSQ).
+
+The result carries the diagnosis set and the set of *materialized
+unfolding nodes* -- the quantity Theorem 4 compares against the
+dedicated algorithm's prefix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.database import Database, Fact
+from repro.datalog.qsq import qsq_evaluate
+from repro.datalog.rule import Query
+from repro.datalog.seminaive import EvaluationBudget, SemiNaiveEvaluator
+from repro.datalog.naive import select
+from repro.datalog.atom import Atom
+from repro.diagnosis.alarms import AlarmSequence
+from repro.diagnosis.encoding import PLACES, TRANS1, TRANS2, node_id_of_term
+from repro.diagnosis.problem import DiagnosisSet, diagnosis_set
+from repro.diagnosis.supervisor import SUPERVISOR, SupervisorEncoder
+from repro.distributed.dqsq import DqsqEngine
+from repro.distributed.network import NetworkOptions
+from repro.errors import DiagnosisError
+from repro.petri.net import PetriNet
+from repro.petri.occurrence import VIRTUAL_ROOT
+from repro.utils.counters import Counters
+
+_EVENT_RELATIONS = (TRANS1, TRANS2)
+
+
+@dataclass
+class DatalogDiagnosisResult:
+    """Diagnoses plus materialization instrumentation."""
+
+    diagnoses: DiagnosisSet
+    #: canonical ids of unfolding events materialized during evaluation
+    materialized_events: frozenset[str]
+    #: canonical ids of unfolding conditions materialized during evaluation
+    materialized_conditions: frozenset[str]
+    counters: Counters
+    answers: set[Fact] = field(repr=False, default_factory=set)
+
+
+class DatalogDiagnosisEngine:
+    """Diagnosis via the dDatalog encoding, under a chosen evaluation mode."""
+
+    def __init__(self, petri: PetriNet, mode: str = "dqsq",
+                 supervisor: str = SUPERVISOR,
+                 budget: EvaluationBudget | None = None,
+                 options: NetworkOptions | None = None,
+                 use_termination_detector: bool = False) -> None:
+        if mode not in ("dqsq", "qsq", "bottomup"):
+            raise DiagnosisError(f"unknown mode {mode!r}")
+        self.petri = petri
+        self.mode = mode
+        self.supervisor = supervisor
+        self.budget = budget or EvaluationBudget(max_facts=2_000_000)
+        self.options = options or NetworkOptions()
+        self.use_termination_detector = use_termination_detector
+
+    def diagnose(self, alarms: AlarmSequence) -> DatalogDiagnosisResult:
+        encoder = SupervisorEncoder(self.petri, alarms, self.supervisor)
+        program = encoder.program()
+        query_atom = encoder.query_atom()
+        counters = Counters()
+
+        if self.mode == "dqsq":
+            engine = DqsqEngine(program, budget=self.budget, options=self.options,
+                                use_termination_detector=self.use_termination_detector)
+            result = engine.query(Query(query_atom))
+            counters.merge(result.counters)
+            answers = result.answers
+            events, conditions = _collect_nodes_from_adorned(result.databases.values())
+        else:
+            local = program.local_version()
+            local_query = Query(Atom(f"{query_atom.relation}@{query_atom.peer}",
+                                     query_atom.args, None))
+            if self.mode == "qsq":
+                qsq = qsq_evaluate(local, local_query, Database(),
+                                   budget=self.budget)
+                counters.merge(qsq.counters)
+                answers = qsq.answers
+                events, conditions = _collect_nodes_from_adorned([qsq.database])
+            else:
+                db = Database()
+                evaluator = SemiNaiveEvaluator(local, self.budget)
+                evaluator.run(db)
+                counters.merge(evaluator.counters)
+                answers = select(db, local_query.atom)
+                events, conditions = _collect_nodes_plain([db])
+
+        diagnoses = _answers_to_diagnoses(answers)
+        counters.add("diagnoses", len(diagnoses))
+        counters.add("materialized_events", len(events))
+        counters.add("materialized_conditions", len(conditions))
+        return DatalogDiagnosisResult(
+            diagnoses=diagnoses,
+            materialized_events=frozenset(events),
+            materialized_conditions=frozenset(conditions),
+            counters=counters, answers=answers)
+
+
+def _answers_to_diagnoses(answers: set[Fact]) -> DiagnosisSet:
+    """Group ``diag(z, x)`` answers by configuration id; drop the virtual
+    root and deduplicate interleavings by event set."""
+    by_config: dict[str, set[str]] = {}
+    for config_term, event_term in answers:
+        config_id = node_id_of_term(config_term)
+        bucket = by_config.setdefault(config_id, set())
+        event_id = node_id_of_term(event_term)
+        if event_id != VIRTUAL_ROOT:
+            bucket.add(event_id)
+    return diagnosis_set(by_config.values())
+
+
+def _collect_nodes_from_adorned(databases) -> tuple[set[str], set[str]]:
+    """Node ids materialized in adorned trans/places answer relations.
+
+    Handles both naming schemes: dQSQ homes ``trans2^fbb`` at a peer;
+    centralized QSQ qualifies first (``trans2@p1^fbb``).  Demand (in-)
+    and supplementary relations are not unfolding nodes and are skipped.
+    """
+    events: set[str] = set()
+    conditions: set[str] = set()
+    for db in databases:
+        for key in db.relations():
+            relation, _peer = key
+            if "^" not in relation or relation.startswith(("in-", "sup")):
+                continue
+            base = relation.rpartition("^")[0].split("@", 1)[0]
+            if base in _EVENT_RELATIONS:
+                for fact in db.facts(key):
+                    events.add(node_id_of_term(fact[0]))
+            elif base == PLACES:
+                for fact in db.facts(key):
+                    conditions.add(node_id_of_term(fact[0]))
+    return events, conditions
+
+
+def _collect_nodes_plain(databases) -> tuple[set[str], set[str]]:
+    """Node ids in plain (unadorned) trans/places relations (bottom-up mode)."""
+    events: set[str] = set()
+    conditions: set[str] = set()
+    for db in databases:
+        for key in db.relations():
+            relation, _peer = key
+            base = relation.split("@", 1)[0]
+            if base in _EVENT_RELATIONS:
+                for fact in db.facts(key):
+                    events.add(node_id_of_term(fact[0]))
+            elif base == PLACES:
+                for fact in db.facts(key):
+                    conditions.add(node_id_of_term(fact[0]))
+    return events, conditions

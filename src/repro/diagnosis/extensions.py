@@ -1,0 +1,455 @@
+"""Section-4.4 extensions: hidden transitions, alarm patterns, blocking.
+
+"This can be generalized in several ways.  *Hidden transitions*: the
+peers may decide to report to the supervisor only part of the alarms.
+*Alarm patterns*: rather than analyzing one particular alarm sequence,
+we may seek explanation of a pattern described by some regular language,
+e.g. alpha.beta*.alpha.  [...] the structure of the alarm sequences of
+interest can be easily described by a regular automaton whose allowed
+transitions can be encoded in the alarmSeq relation."
+
+The :class:`GeneralizedSupervisorEncoder` implements exactly that: the
+``alarmSeq`` relation holds the edges of one DFA per observed peer (a
+linear chain being the basic problem's special case), hidden transitions
+extend configurations without consuming observations, and -- because the
+configurations of interest are no longer bounded by the sequence length
+-- a *gas* index dimension realizes the paper's termination gadget
+("some gadgets to prevent non terminating computations, such as bounding
+the depth of the unfolding, are desirable").
+
+Blocked patterns ("sequences of alarms not containing some known
+patterns") are handled by observing the *complement* automaton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.database import Database
+from repro.datalog.qsq import qsq_evaluate
+from repro.datalog.rule import Query, Rule
+from repro.datalog.seminaive import EvaluationBudget
+from repro.datalog.term import Const, Func, Var
+from repro.diagnosis.encoding import (PETRINET1, PETRINET2, PLACES, ROOT,
+                                      TRANS1, TRANS2, UnfoldingEncoder, g_term)
+from repro.diagnosis.engine import (_answers_to_diagnoses,
+                                    _collect_nodes_from_adorned)
+from repro.diagnosis.patterns import AlarmPattern
+from repro.diagnosis.problem import DiagnosisSet, diagnosis_set
+from repro.diagnosis.supervisor import SUPERVISOR, h_extend, h_root
+from repro.distributed.ddatalog import DDatalogProgram
+from repro.distributed.dqsq import DqsqEngine
+from repro.distributed.network import NetworkOptions
+from repro.errors import DiagnosisError, EncodingError
+from repro.petri.net import PetriNet
+from repro.petri.product import Observer, ObserverEdge, product_with_observers
+from repro.petri.unfolding import unfold
+from repro.utils.counters import Counters
+
+ALARMSEQ = "alarmSeq"
+CONFIGPREFIXES = "configPrefixes"
+TRANSINCONF = "transInConf"
+NOTPARENT = "notParent"
+DIAG = "diag"
+GASSTEP = "gasStep"
+ACCEPTING = "accepting"
+HIDDENNET1, HIDDENNET2 = "hiddenNet1", "hiddenNet2"
+
+
+def totalize_and_complement(observer: Observer, alphabet: tuple[str, ...]) -> Observer:
+    """The complement observer: accepts exactly the words the original
+    rejects (used for "blocked pattern" diagnosis)."""
+    sink = "q-sink"
+    states = tuple(observer.states) + (sink,)
+    edges = list(observer.edges)
+    defined = {(edge.source, edge.alarm) for edge in observer.edges}
+    for state in states:
+        for symbol in alphabet:
+            if (state, symbol) not in defined:
+                edges.append(ObserverEdge(state, symbol, sink))
+    accepting = frozenset(s for s in states if s not in observer.accepting)
+    return Observer(peer=observer.peer, states=states, initial=observer.initial,
+                    accepting=accepting, edges=tuple(edges))
+
+
+@dataclass
+class ObservationSpec:
+    """What the supervisor knows: per-peer observers, hidden transitions,
+    and the event budget that bounds the search."""
+
+    observers: dict[str, Observer]
+    hidden: frozenset[str] = frozenset()
+    max_events: int = 6
+
+    @classmethod
+    def from_patterns(cls, patterns: dict[str, AlarmPattern],
+                      hidden: frozenset[str] = frozenset(),
+                      max_events: int = 6) -> "ObservationSpec":
+        observers = {peer: pattern.to_observer(peer)
+                     for peer, pattern in patterns.items()}
+        return cls(observers=observers, hidden=hidden, max_events=max_events)
+
+
+class GeneralizedSupervisorEncoder:
+    """Supervisor rules for pattern / hidden-transition diagnosis.
+
+    The configPrefixes index becomes ``(S1..Sk, G)``: one DFA state per
+    observed peer plus the remaining gas.  Visible events advance their
+    peer's DFA; hidden events (and events of unobserved peers) only
+    consume gas.
+    """
+
+    def __init__(self, petri: PetriNet, spec: ObservationSpec,
+                 supervisor: str = SUPERVISOR) -> None:
+        if supervisor in petri.net.peers():
+            raise EncodingError(
+                f"supervisor name {supervisor!r} collides with a net peer")
+        unknown = set(spec.observers) - set(petri.net.peers())
+        if unknown:
+            raise EncodingError(f"observers for unknown peers: {sorted(unknown)}")
+        self.petri = petri
+        self.spec = spec
+        self.supervisor = supervisor
+        self.peers = tuple(sorted(spec.observers))
+        self._encoder = UnfoldingEncoder(petri)
+
+    # -- index helpers -------------------------------------------------------------
+
+    def _state_const(self, peer: str, state: str) -> Const:
+        return Const(f"s[{peer}]{state}")
+
+    def _gas_const(self, amount: int) -> Const:
+        return Const(f"gas{amount}")
+
+    def _initial_index(self) -> tuple[Const, ...]:
+        states = tuple(self._state_const(p, self.spec.observers[p].initial)
+                       for p in self.peers)
+        return states + (self._gas_const(self.spec.max_events),)
+
+    def _index_vars(self) -> list[Var]:
+        return [Var(f"S{i}_") for i in range(len(self.peers))] + [Var("G_")]
+
+    # -- facts ------------------------------------------------------------------------
+
+    def observation_facts(self) -> list[Rule]:
+        out: list[Rule] = []
+        sup = self.supervisor
+        for position, peer in enumerate(self.peers):
+            observer = self.spec.observers[peer]
+            for edge in observer.edges:
+                out.append(Rule(Atom(ALARMSEQ,
+                                     [self._state_const(peer, edge.source),
+                                      Const(edge.alarm), Const(peer),
+                                      self._state_const(peer, edge.target)],
+                                     sup)))
+            for state in observer.accepting:
+                out.append(Rule(Atom(f"{ACCEPTING}{position}",
+                                     [self._state_const(peer, state)], sup)))
+        for amount in range(1, self.spec.max_events + 1):
+            out.append(Rule(Atom(GASSTEP,
+                                 [self._gas_const(amount),
+                                  self._gas_const(amount - 1)], sup)))
+        root = h_root()
+        out.append(Rule(Atom(CONFIGPREFIXES,
+                             [root, root, ROOT, *self._initial_index()], sup)))
+        out.append(Rule(Atom(TRANSINCONF, [root, ROOT], sup)))
+        return out
+
+    def hidden_net_facts(self) -> list[Rule]:
+        """Descriptions of the transitions that extend without observation:
+        hidden ones, and all transitions of unobserved peers."""
+        out: list[Rule] = []
+        net = self.petri.net
+        for transition in sorted(net.transitions):
+            peer = net.peer[transition]
+            observed = peer in self.spec.observers
+            if observed and transition not in self.spec.hidden:
+                continue
+            parents = net.parents(transition)
+            if len(parents) == 1:
+                out.append(Rule(Atom(HIDDENNET1,
+                                     [Const(transition), Const(parents[0])], peer)))
+            else:
+                out.append(Rule(Atom(HIDDENNET2,
+                                     [Const(transition), Const(parents[0]),
+                                      Const(parents[1])], peer)))
+        return out
+
+    def visible_net_facts(self) -> list[Rule]:
+        out: list[Rule] = []
+        net = self.petri.net
+        for transition in sorted(net.transitions):
+            peer = net.peer[transition]
+            if peer not in self.spec.observers or transition in self.spec.hidden:
+                continue
+            parents = net.parents(transition)
+            alarm = Const(net.alarm[transition])
+            if len(parents) == 1:
+                out.append(Rule(Atom(PETRINET1,
+                                     [Const(transition), alarm, Const(parents[0])],
+                                     peer)))
+            else:
+                out.append(Rule(Atom(PETRINET2,
+                                     [Const(transition), alarm,
+                                      Const(parents[0]), Const(parents[1])], peer)))
+        return out
+
+    # -- rules -------------------------------------------------------------------------
+
+    def extension_rules(self) -> list[Rule]:
+        out: list[Rule] = []
+        sup = self.supervisor
+        z, w, y, t, a = Var("Z"), Var("W"), Var("Y"), Var("T"), Var("A")
+        for peer_position, peer in enumerate(self.peers):
+            arities = {len(self.petri.net.parents(tr))
+                       for tr in self.petri.net.transitions_of_peer(peer)
+                       if tr not in self.spec.hidden}
+            for arity in sorted(arities):
+                out.append(self._extension_rule(
+                    peer, peer_position, arity, visible=True))
+        # Hidden / unobserved extensions, grouped by hosting peer.
+        hidden_hosts: dict[str, set[int]] = {}
+        net = self.petri.net
+        for transition in net.transitions:
+            peer = net.peer[transition]
+            if peer in self.spec.observers and transition not in self.spec.hidden:
+                continue
+            hidden_hosts.setdefault(peer, set()).add(len(net.parents(transition)))
+        for peer, arities in sorted(hidden_hosts.items()):
+            for arity in sorted(arities):
+                out.append(self._extension_rule(peer, None, arity, visible=False))
+        return out
+
+    def _extension_rule(self, peer: str, peer_position: int | None,
+                        arity: int, visible: bool) -> Rule:
+        sup = self.supervisor
+        z, w, y = Var("Z"), Var("W"), Var("Y")
+        t, a = Var("T"), Var("A")
+        u, v, c1, c2 = Var("U"), Var("V"), Var("C1"), Var("C2")
+        indices = self._index_vars()
+        body_indices = list(indices)
+        head_indices = list(indices)
+        gas_position = len(indices) - 1
+        body_indices[gas_position] = Var("GP_")
+        head_indices[gas_position] = Var("GN_")
+        gas_atom = Atom(GASSTEP, [Var("GP_"), Var("GN_")], sup)
+
+        if visible:
+            assert peer_position is not None
+            previous, advanced = Var("SP_"), Var("SN_")
+            body_indices[peer_position] = previous
+            head_indices[peer_position] = advanced
+            observe = [Atom(ALARMSEQ, [previous, a, Const(peer), advanced], sup)]
+            net_atom = (Atom(PETRINET1, [t, a, c1], peer) if arity == 1
+                        else Atom(PETRINET2, [t, a, c1, c2], peer))
+        else:
+            observe = []
+            net_atom = (Atom(HIDDENNET1, [t, c1], peer) if arity == 1
+                        else Atom(HIDDENNET2, [t, c1, c2], peer))
+
+        if arity == 1:
+            parent_terms = [g_term(u, c1)]
+            members = [Atom(TRANSINCONF, [z, u], sup)]
+            unused = [Atom(NOTPARENT, [z, g_term(u, c1)], sup)]
+            event = Func("f", [t, *parent_terms])
+            trans_atom = Atom(TRANS1, [event, *parent_terms], peer)
+        else:
+            parent_terms = [g_term(u, c1), g_term(v, c2)]
+            members = [Atom(TRANSINCONF, [z, u], sup),
+                       Atom(TRANSINCONF, [z, v], sup)]
+            unused = [Atom(NOTPARENT, [z, g_term(u, c1)], sup),
+                      Atom(NOTPARENT, [z, g_term(v, c2)], sup)]
+            event = Func("f", [t, *parent_terms])
+            trans_atom = Atom(TRANS2, [event, *parent_terms], peer)
+
+        body = [net_atom, *observe,
+                Atom(CONFIGPREFIXES, [z, w, y, *body_indices], sup),
+                gas_atom, *members, *unused, trans_atom]
+        head = Atom(CONFIGPREFIXES, [h_extend(z, event), z, event, *head_indices],
+                    sup)
+        return Rule(head, body)
+
+    def membership_rules(self) -> list[Rule]:
+        sup = self.supervisor
+        z, w, x, y = Var("Z"), Var("W"), Var("X"), Var("Y")
+        indices = self._index_vars()
+        return [
+            Rule(Atom(TRANSINCONF, [z, x], sup),
+                 [Atom(CONFIGPREFIXES, [z, w, x, *indices], sup)]),
+            Rule(Atom(TRANSINCONF, [z, x], sup),
+                 [Atom(CONFIGPREFIXES, [z, w, y, *indices], sup),
+                  Atom(TRANSINCONF, [w, x], sup)]),
+        ]
+
+    def not_parent_rules(self) -> list[Rule]:
+        sup = self.supervisor
+        out: list[Rule] = []
+        z, w, y, m = Var("Z"), Var("W"), Var("Y"), Var("M")
+        indices = self._index_vars()
+        hosts: dict[str, set[int]] = {}
+        net = self.petri.net
+        for transition in net.transitions:
+            hosts.setdefault(net.peer[transition], set()).add(
+                len(net.parents(transition)))
+        for peer, arities in sorted(hosts.items()):
+            for arity in sorted(arities):
+                u, v = Var("U"), Var("V")
+                if arity == 1:
+                    trans_atom = Atom(TRANS1, [y, u], peer)
+                    inequalities = [Inequality(m, u)]
+                else:
+                    trans_atom = Atom(TRANS2, [y, u, v], peer)
+                    inequalities = [Inequality(m, u), Inequality(m, v)]
+                out.append(Rule(
+                    Atom(NOTPARENT, [z, m], sup),
+                    [Atom(CONFIGPREFIXES, [z, w, y, *indices], sup),
+                     trans_atom,
+                     Atom(NOTPARENT, [w, m], sup)],
+                    inequalities))
+        for home in self._encoder.place_home_peers():
+            out.append(Rule(Atom(NOTPARENT, [h_root(), m], sup),
+                            [Atom(PLACES, [m, Var("P_")], home)]))
+        return out
+
+    def query_rules(self) -> list[Rule]:
+        sup = self.supervisor
+        z, w, y, x = Var("Z"), Var("W"), Var("Y"), Var("X")
+        indices = self._index_vars()
+        accept = [Atom(f"{ACCEPTING}{i}", [indices[i]], sup)
+                  for i in range(len(self.peers))]
+        return [Rule(Atom(DIAG, [z, x], sup),
+                     [*accept,
+                      Atom(CONFIGPREFIXES, [z, w, y, *indices], sup),
+                      Atom(TRANSINCONF, [z, x], sup)])]
+
+    def program(self) -> DDatalogProgram:
+        program = self._encoder.program()
+        # Replace the full petriNet facts with the visible-only ones.
+        base = DDatalogProgram()
+        for rule in program:
+            if rule.head.relation in (PETRINET1, PETRINET2):
+                continue
+            base.add(rule)
+        for rule in (self.visible_net_facts() + self.hidden_net_facts()
+                     + self.observation_facts() + self.extension_rules()
+                     + self.membership_rules() + self.not_parent_rules()
+                     + self.query_rules()):
+            base.add(rule)
+        return base
+
+    def query_atom(self) -> Atom:
+        return Atom(DIAG, [Var("Z"), Var("X")], self.supervisor)
+
+
+@dataclass
+class ExtendedDiagnosisResult:
+    diagnoses: DiagnosisSet
+    materialized_events: frozenset[str]
+    counters: Counters
+
+
+class ExtendedDiagnosisEngine:
+    """Datalog diagnosis under an :class:`ObservationSpec` (Section 4.4)."""
+
+    def __init__(self, petri: PetriNet, spec: ObservationSpec,
+                 mode: str = "dqsq", supervisor: str = SUPERVISOR,
+                 budget: EvaluationBudget | None = None,
+                 options: NetworkOptions | None = None) -> None:
+        if mode not in ("dqsq", "qsq"):
+            raise DiagnosisError(f"unknown mode {mode!r}")
+        self.petri = petri
+        self.spec = spec
+        self.mode = mode
+        self.supervisor = supervisor
+        self.budget = budget or EvaluationBudget(max_facts=2_000_000)
+        self.options = options or NetworkOptions()
+
+    def diagnose(self) -> ExtendedDiagnosisResult:
+        encoder = GeneralizedSupervisorEncoder(self.petri, self.spec,
+                                               self.supervisor)
+        program = encoder.program()
+        query_atom = encoder.query_atom()
+        counters = Counters()
+        if self.mode == "dqsq":
+            engine = DqsqEngine(program, budget=self.budget, options=self.options)
+            result = engine.query(Query(query_atom))
+            counters.merge(result.counters)
+            answers = result.answers
+            events, _conditions = _collect_nodes_from_adorned(result.databases.values())
+        else:
+            local = program.local_version()
+            local_query = Query(Atom(f"{query_atom.relation}@{query_atom.peer}",
+                                     query_atom.args, None))
+            qsq = qsq_evaluate(local, local_query, Database(), budget=self.budget)
+            counters.merge(qsq.counters)
+            answers = qsq.answers
+            events, _conditions = _collect_nodes_from_adorned([qsq.database])
+        diagnoses = _answers_to_diagnoses(answers)
+        counters.add("diagnoses", len(diagnoses))
+        return ExtendedDiagnosisResult(diagnoses=diagnoses,
+                                       materialized_events=frozenset(events),
+                                       counters=counters)
+
+
+# -- reference solvers for the extensions -------------------------------------------
+
+
+def dedicated_pattern_diagnosis(petri: PetriNet, spec: ObservationSpec,
+                                max_unfold_events: int = 50_000) -> DiagnosisSet:
+    """[8]-style product diagnosis generalized to observers and hidden
+    transitions; the reference for the Datalog extension engines."""
+    from repro.diagnosis.dedicated import _Projector
+
+    product = product_with_observers(petri, list(spec.observers.values()),
+                                     hidden=spec.hidden)
+    bp = unfold(product.petri, max_events=max_unfold_events,
+                max_depth=spec.max_events)
+    projector = _Projector(bp, product)
+    accepting = {peer: product.accepting_places[peer]
+                 for peer in spec.observers}
+    net = product.petri.net
+
+    found: set[frozenset[str]] = set()
+    seen: set[frozenset[str]] = set()
+
+    def observer_state_ok(chosen: frozenset[str]) -> bool:
+        # Compute the cut and check every observed peer's observer place
+        # is accepting.
+        produced = set(bp.roots)
+        consumed: set[str] = set()
+        for eid in chosen:
+            produced.update(bp.postset[eid])
+            consumed.update(bp.events[eid].preset)
+        cut = produced - consumed
+        for peer, accepting_places in accepting.items():
+            state_places = [cid for cid in cut
+                            if bp.conditions[cid].place in product.observer_places
+                            and product.observer_places[bp.conditions[cid].place][0] == peer]
+            if len(state_places) != 1:
+                return False
+            if bp.conditions[state_places[0]].place not in accepting_places:
+                return False
+        return True
+
+    def search(chosen: frozenset[str]) -> None:
+        if chosen in seen or len(chosen) > spec.max_events:
+            return
+        seen.add(chosen)
+        if observer_state_ok(chosen):
+            found.add(frozenset(projector.project_event(e) for e in chosen))
+        if len(chosen) == spec.max_events:
+            return
+        produced = set(bp.roots)
+        consumed: set[str] = set()
+        for eid in chosen:
+            produced.update(bp.postset[eid])
+            consumed.update(bp.events[eid].preset)
+        available = produced - consumed
+        for cid in sorted(available):
+            for eid in bp.consumers.get(cid, ()):
+                if eid not in chosen and set(bp.events[eid].preset) <= available:
+                    search(chosen | {eid})
+
+    search(frozenset())
+    return diagnosis_set(found)

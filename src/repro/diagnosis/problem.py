@@ -1,0 +1,168 @@
+"""The diagnosis problem, its output type, and the declarative checker.
+
+The paper's output definition ("Input/Output" in Section 2): all
+configurations ``C`` of ``Unfold(N, M)`` such that a bijection from the
+alarms of ``A`` to the events of ``C`` preserves symbols, peers, and
+does not contradict the per-peer emission order.  :func:`explains` is a
+direct implementation of that definition, used to certify the output of
+every solver.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.diagnosis.alarms import AlarmSequence
+from repro.petri.net import PetriNet
+from repro.petri.occurrence import BranchingProcess, Configuration
+from repro.petri.relations import NodeRelations
+
+#: A diagnosis is a set of configurations; each configuration is the
+#: frozenset of its event ids (canonical Skolem-term strings).
+DiagnosisSet = frozenset[frozenset[str]]
+
+
+@dataclass(frozen=True)
+class DiagnosisProblem:
+    """A Petri net plus an observed alarm sequence."""
+
+    petri: PetriNet
+    alarms: AlarmSequence
+
+    def peers(self) -> tuple[str, ...]:
+        return tuple(sorted(self.petri.net.peers()))
+
+
+def diagnosis_set(configurations: Iterable[Iterable[str]]) -> DiagnosisSet:
+    """Normalize any iterable of event-id collections into a DiagnosisSet."""
+    return frozenset(frozenset(c) for c in configurations)
+
+
+def explains(bp: BranchingProcess, events: Iterable[str],
+             alarms: AlarmSequence,
+             hidden: frozenset[str] = frozenset()) -> bool:
+    """Definition-level check: do ``events`` explain ``alarms``?
+
+    Checks that (i) the events form a configuration, (ii) the visible
+    events biject with the alarms preserving symbol and peer, and (iii)
+    per peer, some linear extension of the causal order on that peer's
+    events spells the peer's alarm subsequence.  ``hidden`` lists Petri
+    transitions whose events carry no observable alarm (Section 4.4).
+    """
+    event_list = list(events)
+    config = Configuration(bp, event_list)
+    if not config.is_valid():
+        return False
+
+    visible = [e for e in event_list
+               if bp.events[e].transition not in hidden]
+    by_peer_needed = alarms.by_peer()
+    by_peer_events: dict[str, list[str]] = {}
+    for eid in visible:
+        by_peer_events.setdefault(bp.event_peer(eid), []).append(eid)
+
+    if set(by_peer_events) != {p for p, seq in by_peer_needed.items() if seq}:
+        return False
+
+    relations = NodeRelations(bp)
+    for peer, needed in by_peer_needed.items():
+        candidates = by_peer_events.get(peer, [])
+        if len(candidates) != len(needed):
+            return False
+        if not _order_match(relations, bp, candidates, list(needed)):
+            return False
+    return True
+
+
+def explains_strict(bp: BranchingProcess, events: Iterable[str],
+                    alarms: AlarmSequence,
+                    hidden: frozenset[str] = frozenset()) -> bool:
+    """The *realizable* explanation check: some global firing order of the
+    configuration emits every peer's alarms in the observed per-peer order.
+
+    This is strictly stronger than :func:`explains` (the paper's literal
+    Definition): condition (iii) there constrains each peer separately,
+    which admits configurations with cross-peer causal "crossings" that
+    no actual run can produce (see DESIGN.md).  All three solvers -- the
+    Section-4.2 program, the dedicated algorithm [8] and brute force --
+    implement this stricter semantics, since each builds explanations
+    from firing orders.
+    """
+    event_list = list(events)
+    config = Configuration(bp, event_list)
+    if not config.is_valid():
+        return False
+    needed = alarms.by_peer()
+    visible_counts: dict[str, int] = {}
+    for eid in event_list:
+        if bp.events[eid].transition not in hidden:
+            peer = bp.event_peer(eid)
+            visible_counts[peer] = visible_counts.get(peer, 0) + 1
+    if visible_counts != {p: len(seq) for p, seq in needed.items() if seq}:
+        return False
+
+    producer_of = {cid: bp.conditions[cid].producer for cid in bp.conditions}
+
+    def search(remaining: frozenset[str], counts: tuple[tuple[str, int], ...],
+               available: frozenset[str],
+               memo: set[tuple[frozenset[str], tuple[tuple[str, int], ...]]]) -> bool:
+        if not remaining:
+            return True
+        state = (remaining, counts)
+        if state in memo:
+            return False
+        memo.add(state)
+        count_map = dict(counts)
+        for eid in sorted(remaining):
+            if not set(bp.events[eid].preset) <= available:
+                continue
+            transition = bp.events[eid].transition
+            peer = bp.event_peer(eid)
+            if transition in hidden:
+                new_counts = counts
+            else:
+                index = count_map.get(peer, 0)
+                sequence = needed.get(peer, ())
+                if index >= len(sequence) or bp.event_alarm(eid) != sequence[index]:
+                    continue
+                new_counts = tuple(sorted({**count_map, peer: index + 1}.items()))
+            new_available = (available - frozenset(bp.events[eid].preset)) \
+                | frozenset(bp.postset[eid])
+            if search(remaining - {eid}, new_counts, new_available, memo):
+                return True
+        return False
+
+    produced = set(bp.roots)
+    del producer_of
+    return search(frozenset(event_list), (), frozenset(produced), set())
+
+
+def _order_match(relations: NodeRelations, bp: BranchingProcess,
+                 events: list[str], symbols: list[str]) -> bool:
+    """Is there a linear extension of causality on ``events`` spelling
+    ``symbols``?  Backtracking search (inputs are small: one peer's
+    events)."""
+    if not symbols:
+        return not events
+    remaining = set(events)
+
+    def step(index: int, left: set[str]) -> bool:
+        if index == len(symbols):
+            return not left
+        for eid in sorted(left):
+            if bp.event_alarm(eid) != symbols[index]:
+                continue
+            # eid must be minimal among the remaining events (no
+            # remaining event strictly precedes it).
+            if any(other != eid and relations.causal_leq(other, eid)
+                   for other in left):
+                continue
+            left.remove(eid)
+            if step(index + 1, left):
+                left.add(eid)
+                return True
+            left.add(eid)
+        return False
+
+    return step(0, remaining)

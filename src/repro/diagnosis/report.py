@@ -1,0 +1,129 @@
+"""Human-readable presentation of diagnosis sets.
+
+Section 2: "In practice, this set will have to be 'explained' to a human
+supervisor and represented (preferably graphically) in a compact form."
+This module decodes the Skolem event ids back into structured records,
+renders a text report, and emits Graphviz DOT in the style of the
+paper's Figure 2 (the union of candidate explanations, one shading per
+configuration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diagnosis.problem import DiagnosisSet
+from repro.errors import DiagnosisError
+from repro.petri.net import PetriNet
+from repro.utils.tables import render_table
+
+
+@dataclass(frozen=True)
+class DecodedEvent:
+    """A diagnosis event decoded from its canonical Skolem id."""
+
+    event_id: str
+    transition: str
+    peer: str
+    alarm: str
+    parents: tuple[str, ...]   #: parent condition ids
+    depth: int
+
+
+def decode_event(event_id: str, petri: PetriNet) -> DecodedEvent:
+    """Parse ``f(t, g(...), ...)`` back into a structured record."""
+    transition, parents = _parse_f_term(event_id)
+    if transition not in petri.net.transitions:
+        raise DiagnosisError(f"event {event_id} maps to unknown transition")
+    depth = 1 + max((_condition_depth(p) for p in parents), default=0)
+    return DecodedEvent(
+        event_id=event_id, transition=transition,
+        peer=petri.net.peer[transition], alarm=petri.net.alarm[transition],
+        parents=parents, depth=depth)
+
+
+def _split_args(text: str) -> list[str]:
+    """Split a term argument list at top-level commas."""
+    out, depth, start = [], 0, 0
+    for index, char in enumerate(text):
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        elif char == "," and depth == 0:
+            out.append(text[start:index])
+            start = index + 1
+    if text[start:]:
+        out.append(text[start:])
+    return out
+
+
+def _parse_f_term(event_id: str) -> tuple[str, tuple[str, ...]]:
+    if not event_id.startswith("f(") or not event_id.endswith(")"):
+        raise DiagnosisError(f"not an event id: {event_id!r}")
+    args = _split_args(event_id[2:-1])
+    if not args:
+        raise DiagnosisError(f"malformed event id: {event_id!r}")
+    return args[0], tuple(args[1:])
+
+
+def _condition_depth(condition_id: str) -> int:
+    if not condition_id.startswith("g("):
+        raise DiagnosisError(f"not a condition id: {condition_id!r}")
+    producer = _split_args(condition_id[2:-1])[0]
+    if producer == "r":
+        return 0
+    transition, parents = _parse_f_term(producer)
+    del transition
+    return 1 + max((_condition_depth(p) for p in parents), default=0)
+
+
+def render_diagnosis_report(diagnoses: DiagnosisSet, petri: PetriNet,
+                            title: str = "Diagnosis report") -> str:
+    """A text report: one ordered event table per candidate explanation."""
+    lines = [title, "=" * len(title), ""]
+    if not diagnoses:
+        lines.append("No explanation: the observations are inconsistent "
+                     "with the model.")
+        return "\n".join(lines)
+    for index, configuration in enumerate(
+            sorted(diagnoses, key=lambda c: (len(c), sorted(c))), start=1):
+        decoded = sorted((decode_event(e, petri) for e in configuration),
+                         key=lambda d: (d.depth, d.peer, d.transition))
+        lines.append(f"Candidate {index} ({len(decoded)} events):")
+        if decoded:
+            rows = [[d.depth, d.peer, d.transition, d.alarm] for d in decoded]
+            lines.append(render_table(["depth", "peer", "transition", "alarm"],
+                                      rows))
+        else:
+            lines.append("  (empty explanation: nothing happened)")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def diagnosis_to_dot(diagnoses: DiagnosisSet, petri: PetriNet,
+                     title: str = "diagnosis") -> str:
+    """Figure-2-style rendering: the union of explanations as a DAG of
+    events, each candidate listed in the legend, shared events shaded."""
+    all_events = sorted({e for config in diagnoses for e in config})
+    membership = {event: [i for i, config in
+                          enumerate(sorted(diagnoses, key=sorted), start=1)
+                          if event in config]
+                  for event in all_events}
+    lines = [f'digraph "{title}" {{', "  rankdir=TB;"]
+    for event in all_events:
+        decoded = decode_event(event, petri)
+        configs = ",".join(str(i) for i in membership[event])
+        label = f"{decoded.transition}\\n{decoded.alarm}@{decoded.peer}\\n[{configs}]"
+        shade = ", style=filled, fillcolor=lightgrey" if len(membership[event]) == len(diagnoses) else ""
+        lines.append(f'  "{event}" [shape=square, label="{label}"{shade}];')
+    # Edges: event -> event via parent conditions.
+    known = set(all_events)
+    for event in all_events:
+        decoded = decode_event(event, petri)
+        for condition in decoded.parents:
+            producer = _split_args(condition[2:-1])[0]
+            if producer in known:
+                lines.append(f'  "{producer}" -> "{event}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,246 @@
+"""The Section-4.2 encoding: diagnosis rules at the supervisor.
+
+The supervisor ``p0`` splits the alarm sequence into per-peer
+subsequences and builds, for increasingly larger prefixes, the
+configurations that explain them:
+
+* ``alarmSeq@p0(i, a, p, i')`` -- base facts: consuming alarm ``a`` of
+  peer ``p`` advances that peer's index from ``i`` to ``i'``;
+* ``configPrefixes@p0(id, id', x, I1..Ik)`` -- configuration ``id``
+  extends ``id'`` with event ``x``, having consumed the per-peer
+  prefixes recorded by the k-ary index (the paper's multi-peer
+  generalization);
+* ``transInConf@p0(id, x)`` -- membership of events in configurations;
+* ``notParent@p0(id, m)`` -- place instance ``m`` not yet consumed in
+  ``id`` (built monotonically, "in the style of notCausal");
+* ``diag@p0(id, x)`` -- the answer relation (the paper's ``q``).
+
+Crucially, the supervisor's rules are written from its local view only:
+the alarm sequence plus the public ``petriNet``/``trans``/``map``/
+``places`` relations of the peers; dQSQ delegates the per-peer joins to
+the peers that own them.
+
+Correction relative to the paper (documented in DESIGN.md): the
+configPrefixes rule additionally pins ``map@p(x, t)`` -- without it, an
+instance of a *different* transition sharing both parent places could be
+attached to the wrong alarm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.rule import Rule
+from repro.datalog.term import Const, Func, Term, Var
+from repro.diagnosis.alarms import AlarmSequence
+from repro.diagnosis.encoding import (PETRINET1, PETRINET2, PLACES, ROOT,
+                                      TRANS1, TRANS2, UnfoldingEncoder, g_term)
+from repro.distributed.ddatalog import DDatalogProgram
+from repro.errors import EncodingError
+from repro.petri.net import PetriNet
+
+#: default supervisor peer name (the paper's p0)
+SUPERVISOR = "supervisor"
+
+ALARMSEQ = "alarmSeq"
+CONFIGPREFIXES = "configPrefixes"
+TRANSINCONF = "transInConf"
+NOTPARENT = "notParent"
+DIAG = "diag"
+
+
+def h_root() -> Func:
+    """The id of the empty configuration: ``h(r)``."""
+    return Func("h", [ROOT])
+
+
+def h_extend(config: Term, event: Term) -> Func:
+    """The id of ``config`` extended with ``event``: ``h(z, x)``."""
+    return Func("h", [config, event])
+
+
+@dataclass(frozen=True)
+class IndexSpace:
+    """The k-ary prefix index: one dimension per peer in the sequence."""
+
+    peers: tuple[str, ...]
+    lengths: dict[str, int]
+
+    @classmethod
+    def of(cls, alarms: AlarmSequence) -> "IndexSpace":
+        by_peer = alarms.by_peer()
+        peers = tuple(sorted(by_peer))
+        return cls(peers=peers, lengths={p: len(by_peer[p]) for p in peers})
+
+    def constant(self, peer: str, position: int) -> Const:
+        return Const(f"i[{peer}]{position}")
+
+    def initial(self) -> tuple[Const, ...]:
+        return tuple(self.constant(p, 0) for p in self.peers)
+
+    def final(self) -> tuple[Const, ...]:
+        return tuple(self.constant(p, self.lengths[p]) for p in self.peers)
+
+    def index_vars(self) -> tuple[Var, ...]:
+        return tuple(Var(f"I{i}_") for i in range(len(self.peers)))
+
+
+class SupervisorEncoder:
+    """Generates the supervisor's diagnosis rules for an alarm sequence."""
+
+    def __init__(self, petri: PetriNet, alarms: AlarmSequence,
+                 supervisor: str = SUPERVISOR) -> None:
+        if supervisor in petri.net.peers():
+            raise EncodingError(
+                f"supervisor name {supervisor!r} collides with a net peer")
+        unknown = set(alarms.peers()) - set(petri.net.peers())
+        if unknown:
+            raise EncodingError(f"alarms from unknown peers: {sorted(unknown)}")
+        self.petri = petri
+        self.alarms = alarms
+        self.supervisor = supervisor
+        self.index = IndexSpace.of(alarms)
+        self._encoder = UnfoldingEncoder(petri)
+
+    # -- facts ------------------------------------------------------------------
+
+    def alarm_facts(self) -> list[Rule]:
+        out: list[Rule] = []
+        for peer, symbols in sorted(self.alarms.by_peer().items()):
+            for position, symbol in enumerate(symbols):
+                out.append(Rule(Atom(ALARMSEQ,
+                                     [self.index.constant(peer, position),
+                                      Const(symbol), Const(peer),
+                                      self.index.constant(peer, position + 1)],
+                                     self.supervisor)))
+        return out
+
+    def seed_facts(self) -> list[Rule]:
+        root = h_root()
+        out = [Rule(Atom(CONFIGPREFIXES,
+                         [root, root, ROOT, *self.index.initial()],
+                         self.supervisor)),
+               Rule(Atom(TRANSINCONF, [root, ROOT], self.supervisor))]
+        return out
+
+    # -- rules ------------------------------------------------------------------
+
+    def config_prefix_rules(self) -> list[Rule]:
+        """One extension rule per (observed peer, transition arity)."""
+        out: list[Rule] = []
+        sup = self.supervisor
+        z, w, y, x, t = Var("Z"), Var("W"), Var("Y"), Var("X"), Var("T")
+        a = Var("A")
+        for peer_position, peer in enumerate(self.index.peers):
+            arities = {len(self.petri.net.parents(tr))
+                       for tr in self.petri.net.transitions_of_peer(peer)}
+            indices = list(self.index.index_vars())
+            previous = Var("IP_")
+            advanced = Var("IN_")
+            body_indices = list(indices)
+            body_indices[peer_position] = previous
+            head_indices = list(indices)
+            head_indices[peer_position] = advanced
+            for arity in sorted(arities):
+                u, v = Var("U"), Var("V")
+                c1, c2 = Var("C1"), Var("C2")
+                # The new event is demanded by its full Skolem id
+                # f(t, g(u,c1)[, g(v,c2)]): the Petri transition t is part
+                # of the term, so the demand pins the transition (not just
+                # the parent places) and the materialized prefix matches
+                # the dedicated algorithm's exactly (Theorem 4).
+                if arity == 1:
+                    petrinet_atom = Atom(PETRINET1, [t, a, c1], peer)
+                    parent_terms = [g_term(u, c1)]
+                    members = [Atom(TRANSINCONF, [z, u], sup)]
+                    unused = [Atom(NOTPARENT, [z, g_term(u, c1)], sup)]
+                    event = Func("f", [t, *parent_terms])
+                    trans_atom = Atom(TRANS1, [event, *parent_terms], peer)
+                else:
+                    petrinet_atom = Atom(PETRINET2, [t, a, c1, c2], peer)
+                    parent_terms = [g_term(u, c1), g_term(v, c2)]
+                    members = [Atom(TRANSINCONF, [z, u], sup),
+                               Atom(TRANSINCONF, [z, v], sup)]
+                    unused = [Atom(NOTPARENT, [z, g_term(u, c1)], sup),
+                              Atom(NOTPARENT, [z, g_term(v, c2)], sup)]
+                    event = Func("f", [t, *parent_terms])
+                    trans_atom = Atom(TRANS2, [event, *parent_terms], peer)
+                body = [
+                    petrinet_atom,
+                    Atom(ALARMSEQ, [previous, a, Const(peer), advanced], sup),
+                    Atom(CONFIGPREFIXES, [z, w, y, *body_indices], sup),
+                    *members,
+                    *unused,
+                    trans_atom,
+                ]
+                head = Atom(CONFIGPREFIXES,
+                            [h_extend(z, event), z, event, *head_indices], sup)
+                out.append(Rule(head, body))
+        return out
+
+    def trans_in_conf_rules(self) -> list[Rule]:
+        sup = self.supervisor
+        z, w, x, y = Var("Z"), Var("W"), Var("X"), Var("Y")
+        indices = self.index.index_vars()
+        return [
+            Rule(Atom(TRANSINCONF, [z, x], sup),
+                 [Atom(CONFIGPREFIXES, [z, w, x, *indices], sup)]),
+            Rule(Atom(TRANSINCONF, [z, x], sup),
+                 [Atom(CONFIGPREFIXES, [z, w, y, *indices], sup),
+                  Atom(TRANSINCONF, [w, x], sup)]),
+        ]
+
+    def not_parent_rules(self) -> list[Rule]:
+        """Monotone construction of "place m is unconsumed in config z"."""
+        sup = self.supervisor
+        out: list[Rule] = []
+        z, w, y, m = Var("Z"), Var("W"), Var("Y"), Var("M")
+        indices = self.index.index_vars()
+        for peer in self.index.peers:
+            arities = {len(self.petri.net.parents(tr))
+                       for tr in self.petri.net.transitions_of_peer(peer)}
+            for arity in sorted(arities):
+                u, v = Var("U"), Var("V")
+                if arity == 1:
+                    trans_atom = Atom(TRANS1, [y, u], peer)
+                    inequalities = [Inequality(m, u)]
+                else:
+                    trans_atom = Atom(TRANS2, [y, u, v], peer)
+                    inequalities = [Inequality(m, u), Inequality(m, v)]
+                out.append(Rule(
+                    Atom(NOTPARENT, [z, m], sup),
+                    [Atom(CONFIGPREFIXES, [z, w, y, *indices], sup),
+                     trans_atom,
+                     Atom(NOTPARENT, [w, m], sup)],
+                    inequalities))
+        # Base: nothing is consumed in the empty configuration; m must be
+        # a place instance (one locator rule per place-home peer).
+        for home in self._encoder.place_home_peers():
+            out.append(Rule(Atom(NOTPARENT, [h_root(), m], sup),
+                            [Atom(PLACES, [m, Var("P_")], home)]))
+        return out
+
+    def query_rules(self) -> list[Rule]:
+        sup = self.supervisor
+        z, w, y, x = Var("Z"), Var("W"), Var("Y"), Var("X")
+        return [Rule(Atom(DIAG, [z, x], sup),
+                     [Atom(CONFIGPREFIXES,
+                           [z, w, y, *self.index.final()], sup),
+                      Atom(TRANSINCONF, [z, x], sup)])]
+
+    def rules(self) -> list[Rule]:
+        return (self.alarm_facts() + self.seed_facts()
+                + self.config_prefix_rules() + self.trans_in_conf_rules()
+                + self.not_parent_rules() + self.query_rules())
+
+    def program(self) -> DDatalogProgram:
+        """The complete diagnosis program: unfolding rules + supervisor rules."""
+        program = self._encoder.program()
+        for rule in self.rules():
+            program.add(rule)
+        return program
+
+    def query_atom(self) -> Atom:
+        """The diagnosis query ``diag@p0(?, ?)``."""
+        return Atom(DIAG, [Var("Z"), Var("X")], self.supervisor)

@@ -1,0 +1,25 @@
+"""Distributed dDatalog: simulated peers, dQSQ and termination detection.
+
+This package implements Section 3 of the paper in a simulated
+asynchronous network (the substitution for a real telecom deployment,
+see DESIGN.md): peers exchange messages over per-channel-FIFO links with
+arbitrary cross-channel interleaving, each peer holds the rules whose
+head is located at it, and queries are evaluated either by distributed
+naive evaluation or by dQSQ -- the distributed Query-Sub-Query rewriting
+in which every peer rewrites only its own rules and delegates rule
+remainders to the peers that own the next body atom (Figure 5).
+"""
+
+from repro.distributed.network import Network, Message, NetworkOptions
+from repro.distributed.ddatalog import DDatalogProgram, global_translation
+from repro.distributed.naive_dist import DistributedNaiveEngine
+from repro.distributed.dqsq import DqsqEngine, DqsqResult
+from repro.distributed.termination import DijkstraScholten
+
+__all__ = [
+    "Network", "Message", "NetworkOptions",
+    "DDatalogProgram", "global_translation",
+    "DistributedNaiveEngine",
+    "DqsqEngine", "DqsqResult",
+    "DijkstraScholten",
+]

@@ -1,0 +1,475 @@
+"""dQSQ: distributed Query-Sub-Query (Section 3.2, Figure 5).
+
+The processing starts at the peer where the query is posed.  As in
+centralized QSQ, the rule defining the query is rewritten top-down,
+left to right -- but "when a remote relation is encountered, the peer
+delegates the processing of the remainder of the rule (from the remote
+relation name to the right end of the rule) to the remote peer in
+charge of that relation" (the paper's rule (†)).
+
+Faithfulness points implemented here:
+
+* every peer rewrites **only its own rules**, lazily, when the first
+  demand for an adorned relation arrives (Remark 2's "computation may
+  start even before the rewriting is complete" holds: delegations and
+  tuples interleave freely on the simulated network);
+* supplementary relations are *located*: a handoff ships the current
+  supplementary relation's tuples to the next peer, exactly like the
+  bold ``sup22`` / ``sup32`` rules of Figure 5;
+* "if a peer receives the same request from different peers, it reuses
+  the same machinery" -- demands are deduplicated per (relation,
+  adornment), and new demand tuples flow through the installed rules.
+
+Every installed rule fragment has a *local body*: the only cross-peer
+traffic is (a) delegation requests and (b) streamed tuples of demand
+(``in-``), supplementary and adorned-answer relations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.datalog.adornment import Adornment, adorned_name, input_name
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.database import Database, Fact, RelationKey
+from repro.datalog.naive import select
+from repro.datalog.rule import Program, Query, Rule
+from repro.datalog.seminaive import EvaluationBudget, IncrementalEvaluator
+from repro.datalog.term import Var, variables_of
+from repro.distributed.ddatalog import DDatalogProgram
+from repro.distributed.network import Message, Network, NetworkOptions
+from repro.distributed.termination import ACK_KIND, DijkstraScholten
+from repro.errors import DistributedError
+from repro.utils.counters import Counters
+
+KIND_FACTS = "dqsq-facts"
+KIND_DELEGATE = "dqsq-delegate"
+KIND_QUERY = "dqsq-query"
+
+
+def sup_relation_name(uid: str, position: int) -> str:
+    """Globally unique supplementary-relation name for a rewriting step."""
+    return f"sup[{uid}]{position}"
+
+
+def split_input_name(relation: str) -> tuple[str, Adornment] | None:
+    """Inverse of :func:`repro.datalog.adornment.input_name`, or None."""
+    if not relation.startswith("in-"):
+        return None
+    base = relation[3:]
+    name, sep, pattern = base.rpartition("^")
+    if not sep:
+        return None
+    try:
+        return name, Adornment(pattern)
+    except ValueError:
+        return None
+
+
+@dataclass
+class _Delegation:
+    """The remainder of a rule, shipped to the peer owning its next atom."""
+
+    uid: str
+    position: int                    #: absolute body position of atoms[0]
+    head: Atom                       #: final adorned answer atom (located)
+    atoms: tuple[Atom, ...]          #: remaining body atoms (located)
+    inequalities: tuple[Inequality, ...]
+    sup_name: str                    #: incoming supplementary relation
+    sup_home: str
+    sup_args: tuple[Var, ...]
+
+
+class _DqsqPeer:
+    """One peer: its source rules, installed fragments, and fact store."""
+
+    def __init__(self, name: str, rules: Sequence[Rule],
+                 budget: EvaluationBudget,
+                 detector: DijkstraScholten | None = None) -> None:
+        self.name = name
+        self.source_rules = Program(rules)
+        self.db = Database()
+        self.budget = budget
+        self.evaluator = IncrementalEvaluator(self.db, budget)
+        self.detector = detector
+        self.counters = Counters()
+        self.processed: set[tuple[str, str]] = set()
+        self.readers: dict[RelationKey, set[str]] = {}
+        self._dispatched: dict[RelationKey, int] = {}
+        self._dispatch_log_position = 0
+        self._demand_log_position = 0
+        self._idb: set[str] = {rule.head.relation for rule in self.source_rules
+                               if rule.body or rule.negated}
+        # Fact rules of relations with no proper rules are plain EDB: load
+        # them into the store so joins see them directly (matching the
+        # centralized QSQ treatment -- Theorem 1's zeta stays a bijection).
+        # Fact rules of relations that *also* have proper rules (e.g. the
+        # unfolding roots) answer demands through the rewriting instead.
+        for rule in self.source_rules.facts():
+            if rule.head.relation not in self._idb:
+                self.db.add_atom(rule.head)
+
+    # -- message handling --------------------------------------------------------
+
+    def on_message(self, message: Message, network: Network) -> None:
+        if message.kind == ACK_KIND:
+            if self.detector is not None:
+                self.detector.on_ack(message, network)
+            return
+        if self.detector is not None:
+            self.detector.on_basic_receive(message)
+        if message.kind == KIND_FACTS:
+            payload = message.payload
+            key = (payload["relation"], payload["home"])
+            added = self.db.add_all(key, payload["tuples"])
+            self.counters.add("tuples_received", added)
+            if key[1] != self.name:
+                # Replicas of remote-homed relations must not be pushed
+                # back to their home: advance the dispatch watermark.
+                self._dispatched[key] = len(self.db.facts(key))
+        elif message.kind == KIND_DELEGATE:
+            self._install_delegation(message.payload, network)
+        elif message.kind == KIND_QUERY:
+            self.pose_demand(payload=message.payload, network=network)
+        else:
+            raise DistributedError(f"unexpected message kind {message.kind}")
+        self.work(network)
+        if self.detector is not None:
+            self.detector.peer_passive(self.name, network)
+
+    def pose_demand(self, payload: dict, network: Network) -> None:
+        """Handle a query seed: register the asker and record the demand."""
+        relation = payload["relation"]
+        adornment = Adornment(payload["adornment"])
+        reply_to = payload["reply_to"]
+        answer_key = (adorned_name(relation, adornment), self.name)
+        self._register_reader(answer_key, reply_to, network)
+        in_key = (input_name(relation, adornment), self.name)
+        self.db.add(in_key, tuple(payload["bound"]))
+
+    # -- demand-driven local rewriting ----------------------------------------------
+
+    def work(self, network: Network) -> None:
+        """Run local fixpoints, trigger rewritings, dispatch new facts."""
+        while True:
+            self.evaluator.run()
+            progressed = self._dispatch(network)
+            progressed |= self._process_new_demands(network)
+            if not progressed:
+                return
+
+    def _process_new_demands(self, network: Network) -> bool:
+        """Rewrite local relations for which fresh demands arrived."""
+        progressed = False
+        log = self.db.change_log()
+        touched: dict[RelationKey, None] = {}
+        for key in log[self._demand_log_position:]:
+            touched[key] = None
+        self._demand_log_position = len(log)
+        for key in touched:
+            relation, home = key
+            if home != self.name:
+                continue
+            parsed = split_input_name(relation)
+            if parsed is None:
+                continue
+            base, adornment = parsed
+            if (base, adornment.pattern) in self.processed:
+                continue
+            if base not in self._idb:
+                # Demand for a relation we hold no rules for: it acts as
+                # an empty relation (EDB facts are joined directly and
+                # never demanded).
+                self.processed.add((base, adornment.pattern))
+                continue
+            self.processed.add((base, adornment.pattern))
+            self._rewrite_relation(base, adornment, network)
+            progressed = True
+        return progressed
+
+    def _rewrite_relation(self, relation: str, adornment: Adornment,
+                          network: Network) -> None:
+        """The local QSQ rewriting of this peer's rules for a demand."""
+        self.counters.add("rewritings")
+        in_atom_name = input_name(relation, adornment)
+        ans_name = adorned_name(relation, adornment)
+        for index, rule in enumerate(self.source_rules.rules_for(relation, self.name)):
+            uid = f"{self.name}.{relation}.{adornment}.{index}"
+            head_args = rule.head.args
+            in_args = adornment.select_bound(head_args)
+            if not rule.body:
+                # IDB fact (e.g. an unfolding root): answer demands directly.
+                self._install(Rule(Atom(ans_name, head_args, self.name),
+                                   [Atom(in_atom_name, in_args, self.name)]))
+                continue
+            bound: set[Var] = set()
+            for position in adornment.bound_positions():
+                bound.update(variables_of(head_args[position]))
+            order = _occurrence_order(rule)
+            sup_args = _project(order, bound, rule.body, rule.inequalities,
+                                set(rule.head.variables()))
+            sup0 = sup_relation_name(uid, 0)
+            ground_ineqs = [c for c in rule.inequalities
+                            if set(c.variables()) <= bound]
+            self._install(Rule(Atom(sup0, sup_args, self.name),
+                               [Atom(in_atom_name, in_args, self.name)],
+                               ground_ineqs))
+            pending = tuple(c for c in rule.inequalities if c not in ground_ineqs)
+            head_atom = Atom(ans_name, head_args, self.name)
+            self._continue_segment(uid, 1, head_atom, rule.body, pending,
+                                   sup0, self.name, sup_args, network)
+
+    def _install_delegation(self, delegation: _Delegation, network: Network) -> None:
+        self.counters.add("delegations_received")
+        self._continue_segment(delegation.uid, delegation.position,
+                               delegation.head, delegation.atoms,
+                               delegation.inequalities, delegation.sup_name,
+                               delegation.sup_home, delegation.sup_args, network)
+
+    def _continue_segment(self, uid: str, position: int, head: Atom,
+                          atoms: tuple[Atom, ...],
+                          inequalities: tuple[Inequality, ...],
+                          sup_name: str, sup_home: str, sup_args: tuple[Var, ...],
+                          network: Network) -> None:
+        """Process body atoms left to right while they are local; delegate
+        the remainder at the first remote atom."""
+        order = _delegation_order(sup_args, atoms)
+        available: set[Var] = set(sup_args)
+        pending = list(inequalities)
+        current = Atom(sup_name, sup_args, sup_home)
+        for offset, atom in enumerate(atoms):
+            if atom.peer != self.name:
+                remainder = _Delegation(
+                    uid=uid, position=position + offset, head=head,
+                    atoms=atoms[offset:], inequalities=tuple(pending),
+                    sup_name=current.relation, sup_home=current.peer or self.name,
+                    sup_args=tuple(current.args),  # type: ignore[arg-type]
+                )
+                self._register_reader((current.relation, current.peer or self.name),
+                                      atom.peer or "", network)
+                self.counters.add("delegations_sent")
+                self._send(network, atom.peer or "", KIND_DELEGATE, remainder)
+                return
+            body_adornment = Adornment.from_atom(atom, available)
+            if self._is_local_idb(atom.relation):
+                demand_args = body_adornment.select_bound(atom.args)
+                self._install(Rule(
+                    Atom(input_name(atom.relation, body_adornment), demand_args,
+                         self.name),
+                    [current]))
+                join_atom = Atom(adorned_name(atom.relation, body_adornment),
+                                 atom.args, self.name)
+            else:
+                join_atom = atom
+            available |= set(atom.variables())
+            here = [c for c in pending if set(c.variables()) <= available]
+            pending = [c for c in pending if c not in here]
+            next_args = _project(_delegation_order(sup_args, atoms), available,
+                                 atoms[offset + 1:], tuple(pending),
+                                 set(head.variables()))
+            next_name = sup_relation_name(uid, position + offset)
+            next_atom = Atom(next_name, next_args, self.name)
+            self._install(Rule(next_atom, [current, join_atom], here))
+            current = next_atom
+        self._install(Rule(head, [current]))
+
+    def _is_local_idb(self, relation: str) -> bool:
+        return relation in self._idb
+
+    def _install(self, rule: Rule) -> None:
+        if self.evaluator.add_rule(rule):
+            self.counters.add("rules_installed")
+
+    # -- fact dispatch ---------------------------------------------------------------
+
+    def _register_reader(self, key: RelationKey, reader: str,
+                         network: Network) -> None:
+        readers = self.readers.setdefault(key, set())
+        if reader in readers or reader == self.name:
+            return
+        readers.add(reader)
+        current = list(self.db.facts(key))
+        if current:
+            self._send_facts(network, reader, key, current)
+
+    def _dispatch(self, network: Network) -> bool:
+        """Push new facts to their home peer or to registered readers."""
+        progressed = False
+        log = self.db.change_log()
+        touched: dict[RelationKey, None] = {}
+        for key in log[self._dispatch_log_position:]:
+            touched[key] = None
+        self._dispatch_log_position = len(log)
+        for key in touched:
+            relation, home = key
+            facts = self.db.facts(key)
+            start = self._dispatched.get(key, 0)
+            if start >= len(facts):
+                continue
+            new = list(facts[start:])
+            self._dispatched[key] = len(facts)
+            progressed = True
+            if home is not None and home != self.name:
+                self._send_facts(network, home, key, new)
+            else:
+                for reader in self.readers.get(key, ()):
+                    self._send_facts(network, reader, key, new)
+        return progressed
+
+    def _send_facts(self, network: Network, recipient: str, key: RelationKey,
+                    tuples: list[Fact]) -> None:
+        self.counters.add("tuples_shipped", len(tuples))
+        self._send(network, recipient, KIND_FACTS,
+                   {"relation": key[0], "home": key[1], "tuples": tuples})
+
+    def _send(self, network: Network, recipient: str, kind: str, payload) -> None:
+        if self.detector is not None:
+            self.detector.on_basic_send(self.name)
+        network.send(self.name, recipient, kind, payload)
+
+
+def _occurrence_order(rule: Rule) -> tuple[Var, ...]:
+    return _delegation_order(tuple(rule.head.variables()), rule.body)
+
+
+def _delegation_order(seed: Iterable[Var], atoms: Iterable[Atom]) -> tuple[Var, ...]:
+    """Variables in first-occurrence order (seed vars, then body order)."""
+    order: list[Var] = []
+    seen: set[Var] = set()
+    for var in seed:
+        if var not in seen:
+            seen.add(var)
+            order.append(var)
+    for atom in atoms:
+        for var in atom.variables():
+            if var not in seen:
+                seen.add(var)
+                order.append(var)
+    return tuple(order)
+
+
+def _project(order: Iterable[Var], available: set[Var], later_atoms: Iterable[Atom],
+             later_inequalities: Iterable[Inequality],
+             head_vars: set[Var]) -> tuple[Var, ...]:
+    """Supplementary-relation schema: available vars still needed later."""
+    needed = set(head_vars)
+    for atom in later_atoms:
+        needed.update(atom.variables())
+    for constraint in later_inequalities:
+        needed.update(constraint.variables())
+    keep = available & needed
+    return tuple(v for v in order if v in keep)
+
+
+@dataclass
+class DqsqResult:
+    """Answers plus aggregate instrumentation from a dQSQ run."""
+
+    answers: set[Fact]
+    counters: Counters
+    per_peer: dict[str, Counters]
+    databases: dict[str, Database] = field(repr=False, default_factory=dict)
+    terminated_by_detector: bool | None = None
+
+    def homed_fact_counts(self) -> dict[RelationKey, int]:
+        """Distinct facts per relation, counted at their home peer only.
+
+        Replicas (tuples shipped to readers) are excluded, so this is the
+        number of *materialized* tuples in the paper's sense.
+        """
+        out: dict[RelationKey, int] = {}
+        for name, db in self.databases.items():
+            for key, count in db.snapshot_counts().items():
+                if key[1] == name:
+                    out[key] = count
+        return out
+
+    def adorned_fact_sets(self) -> dict[tuple[str, str, str], set[Fact]]:
+        """Answer facts per (relation, peer, adornment) -- the Theorem-1 view."""
+        out: dict[tuple[str, str, str], set[Fact]] = {}
+        for name, db in self.databases.items():
+            for key in db.relations():
+                relation, home = key
+                if home != name or "^" not in relation or relation.startswith(("in-", "sup[")):
+                    continue
+                base, _sep, pattern = relation.rpartition("^")
+                out[(base, name, pattern)] = set(db.facts(key))
+        return out
+
+
+class DqsqEngine:
+    """Drives a dQSQ evaluation over the simulated network."""
+
+    def __init__(self, program: DDatalogProgram, edb: Database | None = None,
+                 budget: EvaluationBudget | None = None,
+                 options: NetworkOptions | None = None,
+                 use_termination_detector: bool = False) -> None:
+        self.program = program
+        self.budget = budget or EvaluationBudget()
+        self.options = options or NetworkOptions()
+        self.use_termination_detector = use_termination_detector
+        self._edb = edb or Database()
+
+    def query(self, query: Query, at_peer: str | None = None) -> DqsqResult:
+        """Evaluate ``query``; ``at_peer`` is where it is posed (defaults to
+        the peer of the query atom)."""
+        atom = query.atom
+        if atom.peer is None:
+            raise DistributedError("distributed queries must target a located atom")
+        origin_name = at_peer or atom.peer
+        network = Network(self.options)
+
+        names = set(self.program.peers()) | {atom.peer, origin_name}
+        for key in self._edb.relations():
+            if key[1] is not None:
+                names.add(key[1])
+        detector = DijkstraScholten(origin_name) if self.use_termination_detector else None
+        peers: dict[str, _DqsqPeer] = {}
+        for name in sorted(names):
+            peer = _DqsqPeer(name, self.program.rules_at(name), self.budget,
+                             detector=detector)
+            peers[name] = peer
+            network.register(name, peer)
+        for key in self._edb.relations():
+            relation, owner = key
+            if owner is None:
+                raise DistributedError(f"EDB relation {relation} is not located")
+            peers[owner].db.add_all(key, self._edb.facts(key))
+
+        adornment = Adornment.from_atom(atom)
+        seed = {
+            "relation": atom.relation,
+            "adornment": adornment.pattern,
+            "bound": adornment.select_bound(atom.args),
+            "reply_to": origin_name,
+        }
+        origin = peers[origin_name]
+        if detector is not None:
+            detector.root_activated()
+        if atom.peer == origin_name:
+            origin.pose_demand(seed, network)
+            origin.work(network)
+            if detector is not None:
+                detector.peer_passive(origin_name, network)
+        else:
+            origin._send(network, atom.peer, KIND_QUERY, seed)
+            if detector is not None:
+                detector.peer_passive(origin_name, network)
+        network.run_until_quiescent()
+
+        answer_relation = adorned_name(atom.relation, adornment)
+        answers = select(origin.db, Atom(answer_relation, atom.args, atom.peer))
+        counters = Counters()
+        counters.merge(network.counters)
+        per_peer: dict[str, Counters] = {}
+        databases: dict[str, Database] = {}
+        for name, peer in peers.items():
+            peer.counters.merge(peer.evaluator.counters)
+            per_peer[name] = peer.counters
+            databases[name] = peer.db
+            counters.merge(peer.counters)
+        return DqsqResult(
+            answers=answers, counters=counters, per_peer=per_peer,
+            databases=databases,
+            terminated_by_detector=(detector.terminated if detector else None))

@@ -1,0 +1,143 @@
+"""A simulated asynchronous message-passing network.
+
+This is the substitution for the paper's real distributed deployment:
+peers are in-process objects, channels are FIFO queues per (sender,
+recipient) pair, and a seeded scheduler picks which channel delivers
+next.  The model matches the paper's assumptions exactly:
+
+* communication is asynchronous -- messages from *different* senders
+  interleave arbitrarily (scheduler choice);
+* per-channel order is preserved -- "for each individual peer the
+  relative order of its alarms ... respects the order in which they
+  were sent".
+
+For failure-injection tests, options allow duplicating deliveries and
+randomizing *cross-channel* order more aggressively; per-channel FIFO is
+never violated (the paper assumes it).
+"""
+
+from __future__ import annotations
+
+import random
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Protocol
+
+from repro.errors import NetworkClosedError, UnknownPeerError
+from repro.utils.counters import Counters
+
+
+@dataclass(frozen=True)
+class Message:
+    """One message in flight."""
+
+    sender: str
+    recipient: str
+    kind: str
+    payload: Any
+    seq: int
+
+
+@dataclass(frozen=True)
+class NetworkOptions:
+    """Scheduler and failure-injection knobs."""
+
+    seed: int = 0
+    max_deliveries: int = 1_000_000
+    #: probability that a delivered message is delivered a second time
+    duplicate_probability: float = 0.0
+
+
+class PeerHandler(Protocol):
+    """Anything that can receive messages from the network."""
+
+    def on_message(self, message: Message, network: "Network") -> None:  # pragma: no cover
+        ...
+
+
+class Network:
+    """Registry of peers plus the delivery scheduler."""
+
+    def __init__(self, options: NetworkOptions | None = None) -> None:
+        self.options = options or NetworkOptions()
+        self.counters = Counters()
+        self._rng = random.Random(self.options.seed)
+        self._handlers: dict[str, PeerHandler] = {}
+        self._channels: dict[tuple[str, str], deque[Message]] = {}
+        self._seq = 0
+        self._closed = False
+        self._monitors: list[Callable[[Message], None]] = []
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, name: str, handler: PeerHandler) -> None:
+        if name in self._handlers:
+            raise UnknownPeerError(f"peer {name} registered twice")
+        self._handlers[name] = handler
+
+    def peers(self) -> tuple[str, ...]:
+        return tuple(sorted(self._handlers))
+
+    def add_monitor(self, callback: Callable[[Message], None]) -> None:
+        """Observe every delivery (used by the termination detector tests)."""
+        self._monitors.append(callback)
+
+    # -- sending / delivery ---------------------------------------------------
+
+    def send(self, sender: str, recipient: str, kind: str, payload: Any) -> None:
+        """Enqueue a message; raises for unknown recipients."""
+        if self._closed:
+            raise NetworkClosedError("network is closed")
+        if recipient not in self._handlers:
+            raise UnknownPeerError(f"unknown peer {recipient}")
+        self._seq += 1
+        message = Message(sender=sender, recipient=recipient, kind=kind,
+                          payload=payload, seq=self._seq)
+        self._channels.setdefault((sender, recipient), deque()).append(message)
+        self.counters.add("messages_sent")
+        self.counters.add(f"messages_sent[{kind}]")
+
+    def pending(self) -> int:
+        return sum(len(q) for q in self._channels.values())
+
+    def step(self) -> bool:
+        """Deliver one message from a scheduler-chosen channel.
+
+        Returns False when nothing is in flight.
+        """
+        nonempty = [key for key, queue in self._channels.items() if queue]
+        if not nonempty:
+            return False
+        channel = self._rng.choice(sorted(nonempty))
+        message = self._channels[channel].popleft()
+        self._deliver(message)
+        if (self.options.duplicate_probability > 0
+                and self._rng.random() < self.options.duplicate_probability):
+            self.counters.add("messages_duplicated")
+            self._deliver(message)
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        self.counters.add("messages_delivered")
+        for monitor in self._monitors:
+            monitor(message)
+        self._handlers[message.recipient].on_message(message, self)
+
+    def run_until_quiescent(self) -> int:
+        """Deliver until no message is in flight; returns delivery count.
+
+        Handlers run synchronously, so an empty network means global
+        quiescence.  Deliveries are capped by ``max_deliveries`` to turn
+        livelock into an explicit error.
+        """
+        delivered = 0
+        while self.step():
+            delivered += 1
+            if delivered > self.options.max_deliveries:
+                raise NetworkClosedError(
+                    f"exceeded {self.options.max_deliveries} deliveries; "
+                    f"evaluation is probably diverging")
+        return delivered
+
+    def close(self) -> None:
+        self._closed = True

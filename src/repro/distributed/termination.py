@@ -1,0 +1,115 @@
+"""Distributed termination detection (Dijkstra-Scholten).
+
+The paper notes that detecting the fixpoint of a distributed evaluation
+"is more complex than in classical Datalog" and points to standard
+termination-detection algorithms [19, 33]; details are omitted there.
+We implement the Dijkstra-Scholten diffusing-computation detector: basic
+messages build a spanning tree of *engagements*; every basic message is
+acknowledged; a node acknowledges the messages received from its parent
+only when it is passive and all of its own messages have been
+acknowledged.  The root declares termination when it is passive with no
+outstanding acknowledgements -- at that instant no basic message can be
+in flight.
+
+In our synchronous-handler simulation a peer is passive exactly between
+message deliveries, so the protocol hooks are: ``on_basic_send`` /
+``on_basic_receive`` around the engine's messages, ``on_ack`` for
+acknowledgement traffic, and ``peer_passive`` after each handler run.
+Acknowledgements are queued and flushed through the same network, so
+they interleave with basic traffic like any other message.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.distributed.network import Message, Network
+
+ACK_KIND = "ds-ack"
+
+
+@dataclass
+class _NodeState:
+    parent: str | None = None
+    deficit: int = 0              #: basic messages sent, not yet acknowledged
+    pending_parent_acks: int = 0  #: basic messages received from parent, unacked
+    engaged: bool = False
+
+
+class DijkstraScholten:
+    """One detector instance per diffusing computation (per query)."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._states: dict[str, _NodeState] = {}
+        self._ack_queue: list[tuple[str, str, int]] = []
+        self._terminated = False
+        self._root_started = False
+
+    def _state(self, peer: str) -> _NodeState:
+        state = self._states.get(peer)
+        if state is None:
+            state = _NodeState()
+            self._states[peer] = state
+        return state
+
+    @property
+    def terminated(self) -> bool:
+        return self._terminated
+
+    # -- hooks called by the engine -------------------------------------------
+
+    def root_activated(self) -> None:
+        """The root starts the computation (poses the query)."""
+        self._root_started = True
+        self._terminated = False
+        self._state(self.root).engaged = True
+
+    def on_basic_send(self, sender: str) -> None:
+        """The engine is sending a basic (non-ack) message."""
+        self._state(sender).deficit += 1
+
+    def on_basic_receive(self, message: Message) -> None:
+        """A basic message arrived; establish or reuse the engagement."""
+        state = self._state(message.recipient)
+        if not state.engaged:
+            state.engaged = True
+            state.parent = message.sender
+            state.pending_parent_acks = 1
+        elif state.parent == message.sender:
+            state.pending_parent_acks += 1
+        else:
+            # Already engaged elsewhere: acknowledge immediately.
+            self._ack_queue.append((message.recipient, message.sender, 1))
+
+    def on_ack(self, message: Message, network: Network) -> None:
+        """An acknowledgement arrived for ``message.recipient``."""
+        state = self._state(message.recipient)
+        state.deficit -= int(message.payload)
+        if state.deficit < 0:
+            raise AssertionError("acknowledgement deficit went negative")
+        self.peer_passive(message.recipient, network)
+
+    def peer_passive(self, peer: str, network: Network) -> None:
+        """Called when ``peer`` finishes local work (end of its handler)."""
+        state = self._state(peer)
+        if state.engaged and state.deficit == 0:
+            if peer == self.root:
+                if self._root_started:
+                    self._terminated = True
+            elif state.parent is not None:
+                parent, count = state.parent, state.pending_parent_acks
+                state.parent = None
+                state.pending_parent_acks = 0
+                state.engaged = False
+                if count:
+                    self._ack_queue.append((peer, parent, count))
+        self.flush(network)
+
+    # -- ack transport ----------------------------------------------------------
+
+    def flush(self, network: Network) -> None:
+        """Send queued acknowledgements through the network."""
+        while self._ack_queue:
+            sender, recipient, count = self._ack_queue.pop()
+            network.send(sender, recipient, ACK_KIND, count)

@@ -1,0 +1,94 @@
+"""Exception hierarchy for the repro library.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Budget violations (iteration / fact / depth limits used
+to tame programs with function symbols, whose naive semantics may be
+infinite -- see Section 3 of the paper) raise :class:`BudgetExceeded`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DatalogError(ReproError):
+    """Base class for Datalog-layer errors."""
+
+
+class ParseError(DatalogError):
+    """Raised when the (d)Datalog text parser rejects its input."""
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}" + (f", column {column}" if column is not None else "")
+        super().__init__(f"{message}{location}")
+        self.line = line
+        self.column = column
+
+
+class ValidationError(DatalogError):
+    """Raised when a rule or program violates a well-formedness condition.
+
+    Examples: head variables that do not occur in the body (range
+    restriction), inequality constraints over unknown variables, or a
+    dDatalog rule whose head carries no peer.
+    """
+
+
+class BudgetExceeded(ReproError):
+    """Raised when an evaluation exceeds its configured resource budget.
+
+    dDatalog programs contain function symbols, so bottom-up evaluation of
+    an unrestricted program may diverge (the paper's Section 3 notes that
+    "its naive evaluation may not terminate").  Budgets make divergence an
+    explicit, catchable condition rather than a hang.
+    """
+
+    def __init__(self, resource: str, limit: int):
+        super().__init__(f"evaluation budget exceeded: {resource} > {limit}")
+        self.resource = resource
+        self.limit = limit
+
+
+class PetriNetError(ReproError):
+    """Base class for Petri-net-layer errors."""
+
+
+class NotSafeError(PetriNetError):
+    """Raised when a firing would violate the 1-safety assumption.
+
+    The paper assumes safe Petri nets: a transition enabled in a reachable
+    marking must have an unmarked postset (Definition 2).
+    """
+
+
+class NotFireableError(PetriNetError):
+    """Raised when asked to fire a transition that is not enabled."""
+
+
+class DistributedError(ReproError):
+    """Base class for distributed-layer errors."""
+
+
+class NetworkClosedError(DistributedError):
+    """Raised when sending on a network that has been shut down."""
+
+
+class UnknownPeerError(DistributedError):
+    """Raised when a message is addressed to a peer that does not exist."""
+
+
+class DiagnosisError(ReproError):
+    """Base class for diagnosis-layer errors."""
+
+
+class EncodingError(DiagnosisError):
+    """Raised when a Petri net cannot be encoded as dDatalog rules.
+
+    The Section-4.1 encoder supports transitions with one or two parent
+    places (the paper's simplifying assumption plus its "straightforward"
+    generalization); wider transitions are rejected explicitly.
+    """

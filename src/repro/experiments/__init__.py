@@ -1,0 +1,6 @@
+"""Experiment harness: regenerates every table of EXPERIMENTS.md."""
+
+from repro.experiments.harness import ExperimentResult, run_all, write_report
+from repro.experiments.registry import EXPERIMENTS
+
+__all__ = ["ExperimentResult", "run_all", "write_report", "EXPERIMENTS"]

@@ -1,0 +1,33 @@
+"""Safe Petri nets, branching processes and unfoldings (Section 2).
+
+This package is the discrete-event-system substrate of the paper: nets
+and Petri nets (Definitions 1-2), net homomorphisms (Definition 3),
+occurrence nets with the causal / conflict / concurrency relations
+(Definition 4), branching processes and unfoldings, synchronized
+products with alarm observers, the Figure-1 running example, and
+synthetic net generators for the benchmark workloads.
+"""
+
+from repro.petri.net import Net, PetriNet
+from repro.petri.marking import (enabled_transitions, fire, reachable_markings,
+                                 run_sequence, is_safe)
+from repro.petri.occurrence import (BranchingProcess, Condition, Configuration,
+                                    Event)
+from repro.petri.relations import NodeRelations
+from repro.petri.unfolding import Unfolder, UnfoldingLimits, unfold
+from repro.petri.homomorphism import verify_branching_process
+from repro.petri.product import Observer, ObserverEdge, product_with_observers
+from repro.petri.examples import figure1_net, figure1_alarm_scenarios
+from repro.petri.generators import random_safe_net, telecom_net, TelecomSpec
+
+__all__ = [
+    "Net", "PetriNet",
+    "enabled_transitions", "fire", "reachable_markings", "run_sequence", "is_safe",
+    "BranchingProcess", "Condition", "Configuration", "Event",
+    "NodeRelations",
+    "Unfolder", "UnfoldingLimits", "unfold",
+    "verify_branching_process",
+    "Observer", "ObserverEdge", "product_with_observers",
+    "figure1_net", "figure1_alarm_scenarios",
+    "random_safe_net", "telecom_net", "TelecomSpec",
+]

@@ -1,0 +1,90 @@
+"""The running example of the paper (Figure 1) and companion scenarios.
+
+The figure itself is only partially recoverable from the text, which
+fixes: places 1-7, peers P1/P2, ``alpha(i) = b``, ``phi(i) = P1``,
+``preset(i) = {1, 7}``, ``postset(i) = {2, 3}``, transitions i, ii and v
+initially enabled, and the diagnosis behaviour of three alarm sequences.
+The net below honours every one of those facts:
+
+* ``(b,p1),(a,p2),(c,p1)`` and ``(b,p1),(c,p1),(a,p2)`` are explained by
+  the configuration ``{i, iii, v}`` (the shaded configuration of
+  Figure 2);
+* ``(c,p1),(b,p1),(a,p2)`` has no explanation -- once peer p1 emits ``c``
+  first (via ``ii``), place 1 is consumed and ``b`` can never follow.
+
+Transition ``iv`` consumes place 3 of the *other* peer, which makes the
+example genuinely distributed (``Neighb`` relates the two peers both
+ways, as in the paper's running commentary).
+"""
+
+from __future__ import annotations
+
+from repro.petri.net import PetriNet
+
+P1 = "p1"
+P2 = "p2"
+
+
+def figure1_net() -> PetriNet:
+    """The running example: two peers, five transitions, safe."""
+    places = {
+        "1": P1, "2": P1, "3": P1, "4": P1,
+        "5": P2, "6": P2, "7": P2, "8": P2,
+    }
+    transitions = {
+        "i": ("b", P1),     # preset {1, 7}, postset {2, 3}   (as in the text)
+        "ii": ("c", P1),    # preset {1}: conflicts with i on place 1
+        "iii": ("c", P1),   # preset {2}: emits c after b
+        "iv": ("d", P2),    # preset {6, 3}: consumes a place of peer p1
+        "v": ("a", P2),     # preset {5}: concurrent with everything at p1
+    }
+    edges = [
+        ("1", "i"), ("7", "i"), ("i", "2"), ("i", "3"),
+        ("1", "ii"), ("ii", "4"),
+        ("2", "iii"), ("iii", "4"),
+        ("6", "iv"), ("3", "iv"), ("iv", "8"),
+        ("5", "v"), ("v", "6"),
+    ]
+    marking = ["1", "5", "7"]
+    return PetriNet.build(places=places, transitions=transitions,
+                          edges=edges, marking=marking)
+
+
+def figure1_alarm_scenarios() -> dict[str, tuple[tuple[str, str], ...]]:
+    """The three alarm sequences discussed for the running example.
+
+    Returns a name -> sequence mapping; each element is ``(alarm, peer)``.
+    ``bac`` and ``bca`` are explained by the same configuration, ``cba``
+    has no explanation.
+    """
+    return {
+        "bac": (("b", P1), ("a", P2), ("c", P1)),
+        "bca": (("b", P1), ("c", P1), ("a", P2)),
+        "cba": (("c", P1), ("b", P1), ("a", P2)),
+    }
+
+
+def two_peer_chain_net() -> PetriNet:
+    """A minimal two-peer producer/consumer used in unit tests.
+
+    Peer ``p1`` runs ``t1`` (alarm ``x``) producing a message place
+    consumed by peer ``p2``'s ``t2`` (alarm ``y``).
+    """
+    places = {"a1": P1, "a2": P1, "m": P1, "b1": P2, "b2": P2}
+    transitions = {"t1": ("x", P1), "t2": ("y", P2)}
+    edges = [("a1", "t1"), ("t1", "a2"), ("t1", "m"),
+             ("m", "t2"), ("b1", "t2"), ("t2", "b2")]
+    return PetriNet.build(places=places, transitions=transitions,
+                          edges=edges, marking=["a1", "b1"])
+
+
+def cyclic_net() -> PetriNet:
+    """A single-peer two-state loop: its unfolding is infinite.
+
+    Used to exercise depth bounds and the Section-4.4 gadgets.
+    """
+    places = {"s0": P1, "s1": P1}
+    transitions = {"go": ("g", P1), "back": ("h", P1)}
+    edges = [("s0", "go"), ("go", "s1"), ("s1", "back"), ("back", "s0")]
+    return PetriNet.build(places=places, transitions=transitions,
+                          edges=edges, marking=["s0"])

@@ -1,0 +1,189 @@
+"""Synthetic Petri nets shaped like distributed telecom systems.
+
+The paper's application domain is telecom networks whose peers are
+"pieces of hardware and software" emitting alarms.  We generate safe
+nets by composing per-peer state machines (always 1-safe: one token per
+peer) with capacity-1 message/acknowledgement handshakes between peers
+(token invariant ``m + ack = 1``).  The composition is safe by
+construction, every transition has one or two parent places (the shape
+the Section-4.1 encoding expects), and alarm symbols are deliberately
+ambiguous so that diagnosis has real work to do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import PetriNetError
+from repro.petri.net import PetriNet
+
+
+@dataclass(frozen=True)
+class TelecomSpec:
+    """Parameters of a synthetic telecom network.
+
+    ``topology`` controls which peer pairs exchange messages: a chain
+    ``p0-p1-...``, a ring (chain plus wrap-around), or a star centered
+    on ``p0``.  ``branching`` adds per-state nondeterministic choices
+    (two transitions competing for the same local place), which is what
+    creates conflicts -- and hence multiple candidate explanations.
+    """
+
+    peers: int = 2
+    ring_length: int = 3
+    links_per_pair: int = 1
+    alphabet: tuple[str, ...] = ("a", "b", "c")
+    topology: str = "chain"
+    branching: float = 0.0
+    seed: int = 0
+
+    def peer_name(self, index: int) -> str:
+        return f"p{index}"
+
+
+def telecom_net(spec: TelecomSpec) -> PetriNet:
+    """Generate a safe telecom-style Petri net from a spec."""
+    if spec.peers < 1:
+        raise PetriNetError("need at least one peer")
+    if spec.ring_length < 2:
+        raise PetriNetError("ring_length must be at least 2")
+    rng = random.Random(spec.seed)
+
+    places: dict[str, str] = {}
+    transitions: dict[str, tuple[str, str]] = {}
+    edges: list[tuple[str, str]] = []
+    marking: list[str] = []
+
+    # Per-peer state machines.
+    for k in range(spec.peers):
+        peer = spec.peer_name(k)
+        for j in range(spec.ring_length):
+            places[f"s{k}_{j}"] = peer
+        marking.append(f"s{k}_0")
+        for j in range(spec.ring_length):
+            alarm = rng.choice(spec.alphabet)
+            tid = f"t{k}_{j}"
+            transitions[tid] = (alarm, peer)
+            edges.append((f"s{k}_{j}", tid))
+            edges.append((tid, f"s{k}_{(j + 1) % spec.ring_length}"))
+            if rng.random() < spec.branching:
+                # A competing transition from the same state: a conflict.
+                alt = f"t{k}_{j}x"
+                transitions[alt] = (rng.choice(spec.alphabet), peer)
+                edges.append((f"s{k}_{j}", alt))
+                edges.append((alt, f"s{k}_{(j + 2) % spec.ring_length}"))
+
+    # Cross-peer handshakes.  A transition takes part in at most one
+    # handshake so that every transition keeps <= 2 parent places (the
+    # shape assumed by the Section-4.1 encoding).
+    occupied: set[str] = set()
+
+    def pick_free(peer_index: int) -> str | None:
+        candidates = [f"t{peer_index}_{j}" for j in range(spec.ring_length)
+                      if f"t{peer_index}_{j}" not in occupied]
+        if not candidates:
+            return None
+        choice = rng.choice(candidates)
+        occupied.add(choice)
+        return choice
+
+    for index, (a, b) in enumerate(_pairs(spec)):
+        for link in range(spec.links_per_pair):
+            sender = pick_free(a)
+            receiver = pick_free(b)
+            if sender is None or receiver is None:
+                break  # peers ran out of free transitions; skip the link
+            message = f"m{index}_{link}"
+            ack = f"k{index}_{link}"
+            places[message] = spec.peer_name(a)
+            places[ack] = spec.peer_name(a)
+            marking.append(ack)
+            edges.append((sender, message))
+            edges.append((message, receiver))
+            edges.append((ack, sender))
+            edges.append((receiver, ack))
+
+    return PetriNet.build(places=places, transitions=transitions,
+                          edges=list(dict.fromkeys(edges)), marking=marking)
+
+
+def _pairs(spec: TelecomSpec) -> list[tuple[int, int]]:
+    if spec.peers == 1:
+        return []
+    if spec.topology == "chain":
+        return [(k, k + 1) for k in range(spec.peers - 1)]
+    if spec.topology == "ring":
+        return [(k, (k + 1) % spec.peers) for k in range(spec.peers)]
+    if spec.topology == "star":
+        return [(0, k) for k in range(1, spec.peers)]
+    raise PetriNetError(f"unknown topology {spec.topology!r}")
+
+
+def acyclic_pipeline_net(stages: int = 3, peers: int = 2, branching: float = 0.3,
+                         joins: float = 0.5, seed: int = 0,
+                         alphabet: tuple[str, ...] = ("a", "b", "c")) -> PetriNet:
+    """A layered *acyclic* safe net (finite unfolding).
+
+    Each peer runs a pipeline of ``stages`` layers; a transition moves a
+    peer's token from layer ``i`` to ``i+1``.  With probability
+    ``branching`` a layer offers a competing transition (conflict); with
+    probability ``joins`` a transition also consumes a message place
+    filled by the *previous* peer's same-layer transition (2-parent
+    cross-peer synchronization).  Acyclicity makes the full unfolding --
+    and hence the bottom-up fixpoint of the Section-4.1 encoding --
+    finite, which the exact Theorem-2 checks need.
+    """
+    if stages < 1 or peers < 1:
+        raise PetriNetError("need at least one stage and one peer")
+    rng = random.Random(seed)
+    places: dict[str, str] = {}
+    transitions: dict[str, tuple[str, str]] = {}
+    edges: list[tuple[str, str]] = []
+    marking: list[str] = []
+
+    for k in range(peers):
+        peer = f"p{k}"
+        for j in range(stages + 1):
+            places[f"s{k}_{j}"] = peer
+        marking.append(f"s{k}_0")
+        for j in range(stages):
+            tid = f"t{k}_{j}"
+            transitions[tid] = (rng.choice(alphabet), peer)
+            edges.append((f"s{k}_{j}", tid))
+            edges.append((tid, f"s{k}_{j+1}"))
+            if rng.random() < branching:
+                alt = f"t{k}_{j}x"
+                transitions[alt] = (rng.choice(alphabet), peer)
+                edges.append((f"s{k}_{j}", alt))
+                edges.append((alt, f"s{k}_{j+1}"))
+            if k > 0 and rng.random() < joins:
+                # The previous peer's layer-j transition feeds this one.
+                message = f"m{k}_{j}"
+                places[message] = f"p{k-1}"
+                edges.append((f"t{k-1}_{j}", message))
+                edges.append((message, tid))
+    return PetriNet.build(places=places, transitions=transitions,
+                          edges=list(dict.fromkeys(edges)), marking=marking)
+
+
+def random_safe_net(seed: int, peers: int = 2, ring_length: int = 3,
+                    branching: float = 0.4,
+                    alphabet: tuple[str, ...] = ("a", "b")) -> PetriNet:
+    """A randomized safe net for property-based tests.
+
+    Uses the telecom composition with randomized parameters, so every
+    output is safe by construction while exhibiting conflicts (via
+    ``branching``) and cross-peer causality (via handshakes).
+    """
+    rng = random.Random(seed)
+    spec = TelecomSpec(
+        peers=peers,
+        ring_length=ring_length,
+        links_per_pair=rng.choice([0, 1, 1]),
+        alphabet=alphabet,
+        topology=rng.choice(["chain", "ring"]) if peers > 2 else "chain",
+        branching=branching,
+        seed=rng.randrange(1 << 30),
+    )
+    return telecom_net(spec)

@@ -1,0 +1,92 @@
+"""Serialization of Petri nets: JSON round-trip and Graphviz DOT export."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import PetriNetError
+from repro.petri.net import PetriNet
+from repro.petri.occurrence import BranchingProcess
+
+
+def petri_to_dict(petri: PetriNet) -> dict[str, Any]:
+    """A JSON-serializable description of a Petri net."""
+    net = petri.net
+    return {
+        "places": {p: net.peer[p] for p in sorted(net.places)},
+        "transitions": {t: {"alarm": net.alarm[t], "peer": net.peer[t]}
+                        for t in sorted(net.transitions)},
+        "edges": sorted(list(edge) for edge in net.edges),
+        "marking": sorted(petri.marking),
+    }
+
+
+def petri_from_dict(data: dict[str, Any]) -> PetriNet:
+    """Inverse of :func:`petri_to_dict`."""
+    try:
+        places = dict(data["places"])
+        transitions = {t: (spec["alarm"], spec["peer"])
+                       for t, spec in data["transitions"].items()}
+        edges = [tuple(edge) for edge in data["edges"]]
+        marking = list(data["marking"])
+    except (KeyError, TypeError) as err:
+        raise PetriNetError(f"malformed Petri-net description: {err}") from err
+    return PetriNet.build(places=places, transitions=transitions,
+                          edges=edges, marking=marking)
+
+
+def petri_to_json(petri: PetriNet, indent: int | None = 2) -> str:
+    return json.dumps(petri_to_dict(petri), indent=indent, sort_keys=True)
+
+
+def petri_from_json(text: str) -> PetriNet:
+    return petri_from_dict(json.loads(text))
+
+
+def petri_to_dot(petri: PetriNet, title: str = "petri") -> str:
+    """Graphviz rendering in the paper's visual style.
+
+    Places are circles, transitions squares, marked places bold, alarms
+    as transition labels, one cluster per peer.
+    """
+    net = petri.net
+    lines = [f"digraph {json.dumps(title)} {{", "  rankdir=TB;"]
+    for index, peer in enumerate(sorted(net.peers())):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f"    label={json.dumps(peer)};")
+        for place in sorted(net.places_of_peer(peer)):
+            style = ', style=bold, penwidth=3' if place in petri.marking else ""
+            lines.append(f"    {json.dumps(place)} [shape=circle{style}];")
+        for transition in net.transitions_of_peer(peer):
+            label = f"{transition}\\n{net.alarm[transition]}"
+            lines.append(f"    {json.dumps(transition)} "
+                         f"[shape=square, label={json.dumps(label)}];")
+        lines.append("  }")
+    for source, target in sorted(net.edges):
+        lines.append(f"  {json.dumps(source)} -> {json.dumps(target)};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def branching_process_to_dot(bp: BranchingProcess, title: str = "unfolding",
+                             highlight: frozenset[str] = frozenset()) -> str:
+    """Render a branching process; ``highlight`` shades a configuration
+    (the presentation style of the paper's Figure 2)."""
+    lines = [f"digraph {json.dumps(title)} {{", "  rankdir=TB;"]
+    for condition in bp.conditions.values():
+        shade = ", style=filled, fillcolor=lightgrey" if condition.cid in highlight else ""
+        label = f"{condition.place}"
+        lines.append(f"  {json.dumps(condition.cid)} "
+                     f"[shape=circle, label={json.dumps(label)}{shade}];")
+    for event in bp.events.values():
+        shade = ", style=filled, fillcolor=lightgrey" if event.eid in highlight else ""
+        label = f"{event.transition}\\n{bp.event_alarm(event.eid)}"
+        lines.append(f"  {json.dumps(event.eid)} "
+                     f"[shape=square, label={json.dumps(label)}{shade}];")
+        for cid in event.preset:
+            lines.append(f"  {json.dumps(cid)} -> {json.dumps(event.eid)};")
+        for cid in bp.postset[event.eid]:
+            lines.append(f"  {json.dumps(event.eid)} -> {json.dumps(cid)};")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,194 @@
+"""Construction of unfoldings (branching processes) of safe Petri nets.
+
+The unfolder implements the standard *possible extensions* algorithm
+(McMillan [24], Esparza [14]): maintain the concurrency relation between
+conditions incrementally; a transition ``t`` extends the process
+whenever some pairwise-concurrent set of conditions maps onto its preset.
+
+Unfoldings of cyclic nets are infinite, so construction is bounded by
+:class:`UnfoldingLimits` (event count / depth); the optional McMillan
+cut-off criterion yields a *complete finite prefix* -- every reachable
+marking of a safe net is represented.  The full (unbounded) unfolding is
+``Unfold(N, M)`` in the paper; bounded prefixes are its ``⊑``-prefixes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import PetriNetError
+from repro.petri.net import PetriNet
+from repro.petri.occurrence import BranchingProcess, Configuration, Event
+from repro.utils.counters import Counters
+
+
+@dataclass(frozen=True)
+class UnfoldingLimits:
+    """Bounds on the constructed prefix.
+
+    ``max_depth`` bounds event depth (the Section-4.4 gadget); when
+    ``use_cutoffs`` is set, McMillan's criterion additionally stops
+    behind events whose local configuration reaches an already-seen
+    marking with more events.
+    """
+
+    max_events: int = 10_000
+    max_depth: int | None = None
+    use_cutoffs: bool = False
+
+
+class Unfolder:
+    """Builds a branching process of a safe Petri net."""
+
+    def __init__(self, petri: PetriNet, limits: UnfoldingLimits | None = None) -> None:
+        self.petri = petri
+        self.limits = limits or UnfoldingLimits()
+        self.counters = Counters()
+        self.bp = BranchingProcess(petri)
+        #: co[c] = set of condition ids concurrent with condition c.
+        self._co: dict[str, set[str]] = {}
+        #: local-configuration markings seen, for the cut-off criterion.
+        self._seen_markings: dict[frozenset[str], int] = {}
+        self._cutoff_events: set[str] = set()
+
+    def run(self) -> BranchingProcess:
+        """Construct the prefix up to the configured limits."""
+        # The empty configuration reaches the initial marking with zero
+        # events; McMillan's criterion needs it on record.
+        self._seen_markings[self.petri.marking] = 0
+        roots = [self.bp.add_root(place) for place in sorted(self.petri.marking)]
+        for condition in roots:
+            self._co[condition.cid] = {other.cid for other in roots
+                                       if other.cid != condition.cid}
+        agenda: deque[str] = deque(condition.cid for condition in roots)
+        while agenda:
+            cid = agenda.popleft()
+            for new_event in self._extend_with(cid):
+                for post_cid in self.bp.postset[new_event.eid]:
+                    agenda.append(post_cid)
+        return self.bp
+
+    # -- possible extensions -------------------------------------------------
+
+    def _extend_with(self, cid: str) -> list[Event]:
+        """All new events whose preset includes the (new) condition ``cid``."""
+        net = self.petri.net
+        place = self.bp.conditions[cid].place
+        created: list[Event] = []
+        for transition in net.children(place):
+            preset_places = net.parents(transition)
+            slot = preset_places.index(place)
+            for preset in self._cosets(cid, slot, preset_places):
+                event = self._try_add(transition, preset)
+                if event is not None:
+                    created.append(event)
+        return created
+
+    def _cosets(self, cid: str, slot: int,
+                preset_places: tuple[str, ...]) -> list[tuple[str, ...]]:
+        """Pairwise-concurrent condition tuples matching ``preset_places``,
+        with ``cid`` at position ``slot``."""
+        results: list[tuple[str, ...]] = []
+
+        def recurse(position: int, chosen: list[str]) -> None:
+            if position == len(preset_places):
+                results.append(tuple(chosen))
+                return
+            if position == slot:
+                chosen.append(cid)
+                recurse(position + 1, chosen)
+                chosen.pop()
+                return
+            for candidate in self.bp.conditions_for_place(preset_places[position]):
+                if candidate == cid:
+                    continue
+                if all(candidate in self._co[c] for c in chosen) and candidate in self._co[cid]:
+                    chosen.append(candidate)
+                    recurse(position + 1, chosen)
+                    chosen.pop()
+
+        recurse(0, [])
+        return results
+
+    def _try_add(self, transition: str, preset: tuple[str, ...]) -> Event | None:
+        limits = self.limits
+        depth = 1 + max((self.bp.conditions[c].depth for c in preset), default=0)
+        if limits.max_depth is not None and depth > limits.max_depth:
+            self.counters.add("events_depth_pruned")
+            return None
+        if any(self.bp.conditions[c].producer in self._cutoff_events
+               for c in preset if self.bp.conditions[c].producer):
+            # Behind a cut-off event; unreachable because cut-off events
+            # get no postset extension, but guard defensively.
+            return None
+        if len(self.bp.events) >= limits.max_events:
+            raise PetriNetError(f"unfolding exceeded {limits.max_events} events")
+        event = self.bp.add_event(transition, preset)
+        if event is None:
+            return None
+        self.counters.add("events_added")
+        self._update_co(event)
+        if limits.use_cutoffs and self._is_cutoff(event):
+            self._cutoff_events.add(event.eid)
+            self.counters.add("cutoff_events")
+            # Do not return the event: its postset is not explored.
+            return None
+        return event
+
+    def _update_co(self, event: Event) -> None:
+        """Incremental concurrency update (Esparza-style).
+
+        A pre-existing condition is concurrent with the new postset iff it
+        is concurrent with *every* preset condition and is not itself
+        consumed; postset conditions are pairwise concurrent.
+        """
+        preset = set(event.preset)
+        common: set[str] | None = None
+        for cid in event.preset:
+            co_set = self._co[cid]
+            common = set(co_set) if common is None else common & co_set
+        if common is None:
+            # Preset-less events cannot occur in valid nets (a transition
+            # always has parents in our models), but stay total.
+            common = set(self._co.keys())
+        common -= preset
+        postset = self.bp.postset[event.eid]
+        for cid in postset:
+            self._co[cid] = common | (set(postset) - {cid})
+        for other in common:
+            self._co[other].update(postset)
+
+    def _is_cutoff(self, event: Event) -> bool:
+        """McMillan's criterion on the local configuration's marking."""
+        local = self._local_configuration(event)
+        marking = Configuration(self.bp, local).marking()
+        size = len(local)
+        best = self._seen_markings.get(marking)
+        if best is not None and best <= size:
+            return True
+        if best is None or size < best:
+            self._seen_markings[marking] = size
+        return False
+
+    def _local_configuration(self, event: Event) -> set[str]:
+        out: set[str] = set()
+        agenda = [event.eid]
+        while agenda:
+            eid = agenda.pop()
+            if eid in out:
+                continue
+            out.add(eid)
+            for cid in self.bp.events[eid].preset:
+                producer = self.bp.conditions[cid].producer
+                if producer is not None:
+                    agenda.append(producer)
+        return out
+
+
+def unfold(petri: PetriNet, max_events: int = 10_000, max_depth: int | None = None,
+           use_cutoffs: bool = False) -> BranchingProcess:
+    """Convenience wrapper: unfold ``petri`` with the given limits."""
+    limits = UnfoldingLimits(max_events=max_events, max_depth=max_depth,
+                             use_cutoffs=use_cutoffs)
+    return Unfolder(petri, limits).run()

@@ -1,0 +1,14 @@
+"""Shared utilities: counters, id generation, table rendering, graph helpers."""
+
+from repro.utils.counters import Counters
+from repro.utils.ids import IdGenerator
+from repro.utils.tables import render_table
+from repro.utils.orders import topological_sort, transitive_closure
+
+__all__ = [
+    "Counters",
+    "IdGenerator",
+    "render_table",
+    "topological_sort",
+    "transitive_closure",
+]

@@ -1,0 +1,37 @@
+"""Deterministic id generation.
+
+Fresh names are needed in several places: renaming rule variables apart
+before unification, Skolem-style identifiers for supplementary relations in
+QSQ rewritings, and node ids in synthetic Petri nets.  Everything is
+deterministic (no randomness, no wall-clock) so runs are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+
+class IdGenerator:
+    """Generates distinct string ids of the form ``<prefix><n>``.
+
+    >>> gen = IdGenerator()
+    >>> gen.fresh("x")
+    'x0'
+    >>> gen.fresh("x")
+    'x1'
+    >>> gen.fresh("sup")
+    'sup0'
+    """
+
+    def __init__(self) -> None:
+        self._next: dict[str, int] = defaultdict(int)
+
+    def fresh(self, prefix: str) -> str:
+        """Return a new id with the given prefix, distinct from all earlier ones."""
+        n = self._next[prefix]
+        self._next[prefix] = n + 1
+        return f"{prefix}{n}"
+
+    def reserve(self, prefix: str, count: int) -> list[str]:
+        """Return ``count`` consecutive fresh ids sharing ``prefix``."""
+        return [self.fresh(prefix) for _ in range(count)]

@@ -1,0 +1,141 @@
+"""Order-theoretic helpers on finite directed graphs.
+
+Used by the Petri-net layer (causality is a partial order on occurrence
+nets) and by the stratification check in the Datalog layer.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Mapping, TypeVar
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+def topological_sort(nodes: Iterable[Node],
+                     successors: Mapping[Node, Iterable[Node]]) -> list[Node]:
+    """Return the nodes in a topological order of the edge relation.
+
+    ``successors[n]`` lists the nodes that must come *after* ``n``.
+    Raises ``ValueError`` if the graph has a cycle.  Determinism: ties are
+    broken by first-seen order of ``nodes``.
+    """
+    order: list[Node] = []
+    state: dict[Node, int] = {}  # 0 = visiting, 1 = done
+
+    node_list = list(nodes)
+    known = set(node_list)
+
+    def visit(node: Node, stack: list[Node]) -> None:
+        mark = state.get(node)
+        if mark == 1:
+            return
+        if mark == 0:
+            cycle = stack[stack.index(node):] + [node]
+            raise ValueError(f"cycle detected: {cycle}")
+        state[node] = 0
+        stack.append(node)
+        for succ in successors.get(node, ()):  # type: ignore[call-overload]
+            if succ in known:
+                visit(succ, stack)
+        stack.pop()
+        state[node] = 1
+        order.append(node)
+
+    for node in node_list:
+        visit(node, [])
+    order.reverse()
+    return order
+
+
+def transitive_closure(nodes: Iterable[Node],
+                       successors: Mapping[Node, Iterable[Node]]) -> dict[Node, set[Node]]:
+    """Return, for each node, the set of nodes reachable in one or more steps."""
+    node_list = list(nodes)
+    reach: dict[Node, set[Node]] = {}
+    # Process in reverse topological order when acyclic; fall back to
+    # iterative closure when there are cycles.
+    try:
+        order = topological_sort(node_list, successors)
+    except ValueError:
+        return _iterative_closure(node_list, successors)
+    for node in reversed(order):
+        out: set[Node] = set()
+        for succ in successors.get(node, ()):  # type: ignore[call-overload]
+            out.add(succ)
+            out |= reach.get(succ, set())
+        reach[node] = out
+    return reach
+
+
+def _iterative_closure(nodes: list[Node],
+                       successors: Mapping[Node, Iterable[Node]]) -> dict[Node, set[Node]]:
+    reach: dict[Node, set[Node]] = {n: set(successors.get(n, ())) for n in nodes}  # type: ignore[call-overload]
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            new = set(reach[n])
+            for m in list(reach[n]):
+                new |= reach.get(m, set())
+            if new != reach[n]:
+                reach[n] = new
+                changed = True
+    return reach
+
+
+def strongly_connected_components(
+        nodes: Iterable[Node],
+        successors: Mapping[Node, Iterable[Node]]) -> list[list[Node]]:
+    """Tarjan's algorithm; components are returned in reverse topological order."""
+    node_list = list(nodes)
+    known = set(node_list)
+    index_of: dict[Node, int] = {}
+    low: dict[Node, int] = {}
+    on_stack: set[Node] = set()
+    stack: list[Node] = []
+    components: list[list[Node]] = []
+    counter = [0]
+
+    def strongconnect(v: Node) -> None:
+        # Iterative Tarjan to avoid recursion limits on large graphs.
+        work: list[tuple[Node, Iterable[Node]]] = [(v, iter(successors.get(v, ())))]  # type: ignore[call-overload]
+        index_of[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        while work:
+            node, it = work[-1]
+            advanced = False
+            for succ in it:
+                if succ not in known:
+                    continue
+                if succ not in index_of:
+                    index_of[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(successors.get(succ, ()))))  # type: ignore[call-overload]
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index_of[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index_of[node]:
+                component = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    component.append(w)
+                    if w == node:
+                        break
+                components.append(component)
+
+    for v in node_list:
+        if v not in index_of:
+            strongconnect(v)
+    return components

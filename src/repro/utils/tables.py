@@ -1,0 +1,55 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness prints the same kind of rows/series a paper table
+would; this module keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render ``rows`` under ``headers`` as an aligned text table.
+
+    >>> print(render_table(["a", "b"], [[1, "xy"], [22, "z"]]))
+    a   b
+    --  --
+    1   xy
+    22  z
+    """
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip())
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_markdown_table(headers: Sequence[str],
+                          rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-flavored markdown table (used for EXPERIMENTS.md)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3g}"
+    return str(cell)

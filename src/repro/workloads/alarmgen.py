@@ -1,0 +1,66 @@
+"""Alarm-stream generation by simulating runs.
+
+A workload is produced in two stages, mirroring the paper's system
+model: (1) *run* the Petri net (seeded random firing choices) -- each
+firing emits an alarm at its peer; (2) *interleave* the per-peer alarm
+streams as an asynchronous network would: per-peer order is preserved,
+cross-peer order is randomized.  The diagnosis of the resulting sequence
+always contains the generating run (a liveness property the tests
+check).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.diagnosis.alarms import Alarm, AlarmSequence
+from repro.petri.marking import enabled_transitions, fire
+from repro.petri.net import PetriNet
+
+
+def simulate_run(petri: PetriNet, steps: int, seed: int = 0) -> list[str]:
+    """Fire up to ``steps`` transitions, chosen uniformly among enabled ones."""
+    rng = random.Random(seed)
+    marking = petri.marking
+    fired: list[str] = []
+    for _ in range(steps):
+        enabled = enabled_transitions(petri.net, marking)
+        if not enabled:
+            break
+        transition = rng.choice(enabled)
+        marking = fire(petri.net, marking, transition)
+        fired.append(transition)
+    return fired
+
+
+def interleave(streams: dict[str, list[str]], seed: int = 0) -> AlarmSequence:
+    """Merge per-peer alarm streams preserving only per-peer order."""
+    rng = random.Random(seed)
+    cursors = {peer: 0 for peer in streams}
+    merged: list[Alarm] = []
+    while True:
+        candidates = [peer for peer, position in cursors.items()
+                      if position < len(streams[peer])]
+        if not candidates:
+            break
+        peer = rng.choice(sorted(candidates))
+        merged.append(Alarm(streams[peer][cursors[peer]], peer))
+        cursors[peer] += 1
+    return AlarmSequence(merged)
+
+
+def simulate_alarms(petri: PetriNet, steps: int, seed: int = 0,
+                    hidden: frozenset[str] = frozenset()) -> AlarmSequence:
+    """Run the net and deliver its alarms through the asynchronous network.
+
+    Transitions in ``hidden`` fire but emit nothing (the Section-4.4
+    hidden-transition scenario).
+    """
+    fired = simulate_run(petri, steps, seed)
+    streams: dict[str, list[str]] = {}
+    for transition in fired:
+        if transition in hidden:
+            continue
+        peer = petri.net.peer[transition]
+        streams.setdefault(peer, []).append(petri.net.alarm[transition])
+    return interleave(streams, seed=seed + 1)

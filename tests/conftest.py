@@ -1,0 +1,16 @@
+"""Test-suite bootstrap: make `repro` importable without installation.
+
+`pip install -e .` is the normal path; this fallback lets `pytest tests/`
+work from a bare checkout (e.g. on CI images without the editable
+install step).
+"""
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    try:
+        import repro  # noqa: F401
+    except ImportError:
+        sys.path.insert(0, _SRC)

@@ -1,0 +1,85 @@
+"""Property-based tests: Petri-net substrate invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.petri import is_safe, unfold, verify_branching_process
+from repro.petri.generators import TelecomSpec, telecom_net
+from repro.petri.marking import enabled_transitions, fire, run_sequence
+from repro.petri.occurrence import Configuration
+from repro.petri.relations import NodeRelations
+
+specs = st.builds(
+    TelecomSpec,
+    peers=st.integers(min_value=1, max_value=3),
+    ring_length=st.integers(min_value=2, max_value=4),
+    links_per_pair=st.integers(min_value=0, max_value=1),
+    branching=st.sampled_from([0.0, 0.4, 0.8]),
+    topology=st.sampled_from(["chain", "ring", "star"]),
+    seed=st.integers(min_value=0, max_value=10_000))
+
+
+class TestGeneratedNets:
+    @settings(max_examples=25, deadline=None)
+    @given(specs)
+    def test_generated_nets_are_safe(self, spec):
+        petri = telecom_net(spec)
+        assert is_safe(petri, max_markings=30_000)
+
+    @settings(max_examples=25, deadline=None)
+    @given(specs)
+    def test_parent_arity_invariant(self, spec):
+        petri = telecom_net(spec)
+        for transition in petri.net.transitions:
+            assert 1 <= len(petri.net.parents(transition)) <= 2
+
+    @settings(max_examples=20, deadline=None)
+    @given(specs)
+    def test_unfolding_axioms(self, spec):
+        petri = telecom_net(spec)
+        bp = unfold(petri, max_depth=3, max_events=5_000)
+        assert verify_branching_process(bp) == []
+
+    @settings(max_examples=15, deadline=None)
+    @given(specs, st.integers(min_value=0, max_value=999))
+    def test_random_runs_stay_safe(self, spec, seed):
+        import random
+        petri = telecom_net(spec)
+        rng = random.Random(seed)
+        marking = petri.marking
+        for _ in range(8):
+            enabled = enabled_transitions(petri.net, marking)
+            if not enabled:
+                break
+            marking = fire(petri.net, marking, rng.choice(enabled))
+
+
+class TestUnfoldingSemantics:
+    @settings(max_examples=12, deadline=None)
+    @given(specs)
+    def test_local_configurations_replay_as_runs(self, spec):
+        petri = telecom_net(spec)
+        bp = unfold(petri, max_depth=3, max_events=3_000)
+        relations = NodeRelations(bp)
+        for event in list(bp.events.values())[:10]:
+            local = [e for e in bp.events if relations.causal_leq(e, event.eid)]
+            config = Configuration(bp, local)
+            assert config.is_valid()
+            final = run_sequence(
+                petri, [bp.events[e].transition for e in config.linearize()])
+            assert final == config.marking()
+
+    @settings(max_examples=12, deadline=None)
+    @given(specs)
+    def test_relation_trichotomy(self, spec):
+        petri = telecom_net(spec)
+        bp = unfold(petri, max_depth=3, max_events=2_000)
+        relations = NodeRelations(bp)
+        events = list(bp.events)[:12]
+        for u in events:
+            for v in events:
+                if u == v:
+                    continue
+                flags = [relations.causal_leq(u, v) or relations.causal_leq(v, u),
+                         relations.in_conflict(u, v),
+                         relations.concurrent(u, v)]
+                assert sum(flags) == 1

@@ -1,0 +1,94 @@
+"""Property-based tests: terms, matching and unification laws."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.term import Const, Func, Var, is_ground, substitute, term_depth
+from repro.datalog.unify import match, resolve, unify
+
+# -- strategies -----------------------------------------------------------------
+
+constants = st.sampled_from([Const(v) for v in ("a", "b", "c", 1, 2)])
+variables = st.sampled_from([Var(n) for n in ("X", "Y", "Z")])
+
+
+def terms(max_depth=3):
+    return st.recursive(
+        constants | variables,
+        lambda children: st.builds(
+            Func,
+            st.sampled_from(["f", "g"]),
+            st.lists(children, min_size=1, max_size=2)),
+        max_leaves=6)
+
+
+def ground_terms(max_depth=3):
+    return st.recursive(
+        constants,
+        lambda children: st.builds(
+            Func,
+            st.sampled_from(["f", "g"]),
+            st.lists(children, min_size=1, max_size=2)),
+        max_leaves=6)
+
+
+class TestTermLaws:
+    @given(ground_terms())
+    def test_ground_terms_are_ground(self, term):
+        assert is_ground(term)
+
+    @given(terms())
+    def test_equality_is_reflexive_and_hash_consistent(self, term):
+        assert term == term
+        assert hash(term) == hash(term)
+
+    @given(terms())
+    def test_empty_substitution_is_identity(self, term):
+        assert substitute(term, {}) == term
+
+    @given(ground_terms())
+    def test_depth_decreases_into_arguments(self, term):
+        if isinstance(term, Func) and term.args:
+            assert term_depth(term) == 1 + max(term_depth(a) for a in term.args)
+
+
+class TestMatchLaws:
+    @given(terms(), ground_terms())
+    def test_match_implies_equal_after_substitution(self, pattern, ground):
+        binding = {}
+        if match(pattern, ground, binding):
+            assert substitute(pattern, binding) == ground
+
+    @given(ground_terms())
+    def test_ground_terms_match_themselves(self, term):
+        assert match(term, term, {})
+
+    @given(terms(), ground_terms())
+    def test_match_agrees_with_unify(self, pattern, ground):
+        matched = match(pattern, ground, {})
+        unified = unify(pattern, ground)
+        assert matched == (unified is not None)
+
+
+class TestUnifyLaws:
+    @settings(max_examples=200)
+    @given(terms(), terms())
+    def test_unifier_is_a_unifier(self, left, right):
+        binding = unify(left, right)
+        if binding is not None:
+            assert resolve(left, binding) == resolve(right, binding)
+
+    @given(terms(), terms())
+    def test_unify_symmetric_in_success(self, left, right):
+        assert (unify(left, right) is None) == (unify(right, left) is None)
+
+    @given(terms())
+    def test_unify_with_self_succeeds(self, term):
+        assert unify(term, term) is not None
+
+    @settings(max_examples=200)
+    @given(terms(), terms())
+    def test_binding_idempotent(self, left, right):
+        binding = unify(left, right)
+        if binding is not None:
+            for value in binding.values():
+                assert resolve(value, binding) == value

@@ -1,0 +1,111 @@
+"""Theorem 2 on randomized acyclic nets + same-peer concurrency cases."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.seminaive import EvaluationBudget, SemiNaiveEvaluator
+from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
+                             DedicatedDiagnoser, bruteforce_diagnosis)
+from repro.diagnosis.encoding import (PLACES, TRANS1, TRANS2,
+                                      UnfoldingEncoder, node_id_of_term)
+from repro.petri import is_safe, unfold, verify_branching_process
+from repro.petri.generators import acyclic_pipeline_net
+from repro.petri.net import PetriNet
+
+
+class TestAcyclicGenerator:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_safe_and_acyclic(self, seed):
+        petri = acyclic_pipeline_net(stages=3, peers=2, seed=seed)
+        assert is_safe(petri, max_markings=30_000)
+        # Acyclic: the full unfolding is finite well below the budget.
+        bp = unfold(petri, max_events=20_000)
+        assert verify_branching_process(bp) == []
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_theorem2_exact_on_random_acyclic_nets(self, seed):
+        petri = acyclic_pipeline_net(stages=2, peers=2, branching=0.5,
+                                     joins=0.7, seed=seed)
+        db = Database()
+        SemiNaiveEvaluator(UnfoldingEncoder(petri).program().program,
+                           EvaluationBudget(max_facts=500_000)).run(db)
+        events, conditions = set(), set()
+        for key in db.relations():
+            relation, _peer = key
+            if relation in (TRANS1, TRANS2):
+                events |= {node_id_of_term(f[0]) for f in db.facts(key)}
+            elif relation == PLACES:
+                conditions |= {node_id_of_term(f[0]) for f in db.facts(key)}
+        bp = unfold(petri, max_events=20_000)
+        assert events == set(bp.events)
+        assert conditions == set(bp.conditions)
+
+
+def concurrent_peer_net() -> PetriNet:
+    """One peer with two initially concurrent transitions (t1 || t2)."""
+    return PetriNet.build(
+        places={"s1": "p", "s2": "p", "d1": "p", "d2": "p"},
+        transitions={"t1": ("a", "p"), "t2": ("b", "p")},
+        edges=[("s1", "t1"), ("t1", "d1"), ("s2", "t2"), ("t2", "d2")],
+        marking=["s1", "s2"])
+
+
+class TestSamePeerConcurrency:
+    """Concurrent events of ONE peer may be reported in either order;
+    both orders must yield the same (single) explanation."""
+
+    @pytest.mark.parametrize("order", [[("a", "p"), ("b", "p")],
+                                       [("b", "p"), ("a", "p")]])
+    def test_both_orders_explained(self, order):
+        petri = concurrent_peer_net()
+        alarms = AlarmSequence(order)
+        brute = bruteforce_diagnosis(petri, alarms)
+        assert len(brute.diagnoses) == 1
+        (config,) = brute.diagnoses
+        transitions = sorted(brute.bp.events[e].transition for e in config)
+        assert transitions == ["t1", "t2"]
+
+    @pytest.mark.parametrize("order", [[("a", "p"), ("b", "p")],
+                                       [("b", "p"), ("a", "p")]])
+    def test_all_solvers_agree(self, order):
+        petri = concurrent_peer_net()
+        alarms = AlarmSequence(order)
+        brute = bruteforce_diagnosis(petri, alarms).diagnoses
+        dedicated = DedicatedDiagnoser(petri).diagnose(alarms).diagnoses
+        datalog = DatalogDiagnosisEngine(petri, mode="qsq").diagnose(alarms).diagnoses
+        assert brute == dedicated == datalog
+
+    def test_orders_give_same_diagnosis(self):
+        petri = concurrent_peer_net()
+        first = bruteforce_diagnosis(
+            petri, AlarmSequence([("a", "p"), ("b", "p")])).diagnoses
+        second = bruteforce_diagnosis(
+            petri, AlarmSequence([("b", "p"), ("a", "p")])).diagnoses
+        assert first == second
+
+    def test_causally_ordered_events_are_order_sensitive(self):
+        # Contrast: when t2 depends on t1, only one order is explicable.
+        petri = PetriNet.build(
+            places={"s1": "p", "mid": "p", "d2": "p"},
+            transitions={"t1": ("a", "p"), "t2": ("b", "p")},
+            edges=[("s1", "t1"), ("t1", "mid"), ("mid", "t2"), ("t2", "d2")],
+            marking=["s1"])
+        good = bruteforce_diagnosis(
+            petri, AlarmSequence([("a", "p"), ("b", "p")])).diagnoses
+        bad = bruteforce_diagnosis(
+            petri, AlarmSequence([("b", "p"), ("a", "p")])).diagnoses
+        assert len(good) == 1
+        assert bad == frozenset()
+
+
+class TestDiagnosisOnAcyclicNets:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_solvers_agree(self, seed):
+        from repro.workloads.alarmgen import simulate_alarms
+        petri = acyclic_pipeline_net(stages=2, peers=2, branching=0.4,
+                                     joins=0.6, seed=seed)
+        alarms = simulate_alarms(petri, steps=3, seed=seed)
+        brute = bruteforce_diagnosis(petri, alarms).diagnoses
+        dedicated = DedicatedDiagnoser(petri).diagnose(alarms).diagnoses
+        datalog = DatalogDiagnosisEngine(petri, mode="qsq").diagnose(alarms).diagnoses
+        assert brute == dedicated == datalog

@@ -1,0 +1,84 @@
+"""Tests for binding patterns and the reachable-adornment analysis."""
+
+import pytest
+
+from repro.datalog.adornment import (Adornment, adorn_program, adorned_name,
+                                     input_name)
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.term import Var
+
+
+class TestAdornment:
+    def test_from_atom_constants_bound(self):
+        adornment = Adornment.from_atom(parse_atom('r("1", Y)'))
+        assert adornment.pattern == "bf"
+
+    def test_from_atom_with_bound_vars(self):
+        atom = parse_atom("r(X, Y)")
+        assert Adornment.from_atom(atom, [Var("X")]).pattern == "bf"
+        assert Adornment.from_atom(atom, [Var("X"), Var("Y")]).pattern == "bb"
+
+    def test_function_term_bound_when_vars_bound(self):
+        atom = parse_atom("r(f(X), Y)")
+        assert Adornment.from_atom(atom).pattern == "ff"
+        assert Adornment.from_atom(atom, [Var("X")]).pattern == "bf"
+
+    def test_ground_function_term_is_bound(self):
+        assert Adornment.from_atom(parse_atom('r(f("c"), Y)')).pattern == "bf"
+
+    def test_invalid_pattern_rejected(self):
+        with pytest.raises(ValueError):
+            Adornment("bx")
+
+    def test_positions(self):
+        adornment = Adornment("bfb")
+        assert adornment.bound_positions() == (0, 2)
+        assert adornment.free_positions() == (1,)
+
+    def test_select_bound(self):
+        atom = parse_atom('r("1", Y, "2")')
+        assert Adornment("bfb").select_bound(atom.args) == (atom.args[0], atom.args[2])
+
+    def test_names(self):
+        assert adorned_name("r", Adornment("bf")) == "r^bf"
+        assert input_name("r", Adornment("bf")) == "in-r^bf"
+
+
+FIGURE3 = """
+r@r(X, Y) :- a@r(X, Y).
+r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+t@t(X, Y) :- c@t(X, Y).
+"""
+
+
+class TestAdornProgram:
+    def test_figure3_reachable_adornments(self):
+        program = parse_program(FIGURE3)
+        query = parse_atom('r@r("1", Y)')
+        reached = adorn_program(program, query)
+        as_set = {(rel, peer, ad.pattern) for rel, peer, ad in reached}
+        # The paper's Figure 4: R^bf, S^bf and T^bf are the reachable
+        # adorned relations.
+        assert as_set == {("r", "r", "bf"), ("s", "s", "bf"), ("t", "t", "bf")}
+
+    def test_free_query_adornment(self):
+        program = parse_program(FIGURE3)
+        reached = adorn_program(program, parse_atom("r@r(X, Y)"))
+        patterns = {(rel, ad.pattern) for rel, _peer, ad in reached}
+        assert ("r", "ff") in patterns
+        # s is demanded with its first argument free, second free.
+        assert ("s", "ff") in patterns
+        # t's first argument is bound by s's answers flowing sideways.
+        assert ("t", "bf") in patterns
+
+    def test_multiple_adornments_of_same_relation(self):
+        text = """
+        p(X, Y) :- q(X, Y).
+        q(X, Y) :- e(X, Y).
+        p(X, Y) :- q(Y, X).
+        """
+        program = parse_program(text)
+        reached = adorn_program(program, parse_atom('p("1", Y)'))
+        q_patterns = {ad.pattern for rel, _p, ad in reached if rel == "q"}
+        assert q_patterns == {"bf", "fb"}

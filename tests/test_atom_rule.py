@@ -1,0 +1,173 @@
+"""Unit tests for atoms, inequalities, rules and programs."""
+
+import pytest
+
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.rule import Program, Query, Rule
+from repro.datalog.term import Const, Func, Var
+from repro.errors import ValidationError
+
+
+def atom(rel, *args, peer=None):
+    return Atom(rel, args, peer)
+
+
+X, Y, Z = Var("X"), Var("Y"), Var("Z")
+a, b = Const("a"), Const("b")
+
+
+class TestAtom:
+    def test_equality_includes_peer(self):
+        assert atom("r", X) == atom("r", X)
+        assert atom("r", X, peer="p") != atom("r", X)
+        assert atom("r", X, peer="p") == atom("r", X, peer="p")
+
+    def test_str_with_peer(self):
+        assert str(atom("r", X, a, peer="p1")) == 'r@p1(X, "a")'
+
+    def test_str_local(self):
+        assert str(atom("r", X)) == "r(X)"
+
+    def test_is_ground(self):
+        assert atom("r", a, Func("f", [b])).is_ground()
+        assert not atom("r", a, X).is_ground()
+
+    def test_substitute(self):
+        out = atom("r", X, Y).substitute({X: a})
+        assert out == atom("r", a, Y)
+
+    def test_key(self):
+        assert atom("r", X, peer="p").key() == ("r", "p")
+        assert atom("r", X).key() == ("r", None)
+
+
+class TestInequality:
+    def test_holds(self):
+        c = Inequality(X, Y)
+        assert c.holds({X: a, Y: b})
+        assert not c.holds({X: a, Y: a})
+
+    def test_holds_requires_ground(self):
+        with pytest.raises(ValueError):
+            Inequality(X, Y).holds({X: a})
+
+    def test_is_decidable(self):
+        c = Inequality(X, a)
+        assert not c.is_decidable({})
+        assert c.is_decidable({X: b})
+
+    def test_ground_constant_inequality(self):
+        assert Inequality(a, b).holds({})
+        assert not Inequality(a, a).holds({})
+
+    def test_function_term_sides(self):
+        c = Inequality(Func("f", [X]), Func("f", [Y]))
+        assert not c.holds({X: a, Y: a})
+        assert c.holds({X: a, Y: b})
+
+
+class TestRuleValidation:
+    def test_head_var_must_occur_in_body(self):
+        with pytest.raises(ValidationError):
+            Rule(atom("r", X, Y), [atom("s", X)])
+
+    def test_fact_must_be_ground_to_be_fact(self):
+        fact = Rule(atom("r", a, b))
+        assert fact.is_fact()
+
+    def test_nonground_bodyless_rule_rejected(self):
+        with pytest.raises(ValidationError):
+            Rule(atom("r", X))
+
+    def test_inequality_vars_must_occur_in_body(self):
+        with pytest.raises(ValidationError):
+            Rule(atom("r", X), [atom("s", X)], [Inequality(X, Y)])
+
+    def test_valid_rule_with_inequality(self):
+        rule = Rule(atom("r", X), [atom("s", X, Y)], [Inequality(X, Y)])
+        assert len(rule.inequalities) == 1
+
+    def test_negated_atom_safety(self):
+        with pytest.raises(ValidationError):
+            Rule(atom("r", X), [atom("s", X)], negated=[atom("t", Y)])
+
+    def test_head_function_term_vars_checked(self):
+        rule = Rule(atom("r", Func("f", [X])), [atom("s", X)])
+        assert rule.head.args[0] == Func("f", [X])
+
+
+class TestRule:
+    def test_rename_apart(self):
+        rule = Rule(atom("r", X), [atom("s", X, Y)])
+        renamed = rule.rename_apart("_1")
+        assert renamed.head == atom("r", Var("X_1"))
+        assert renamed.variables() == {Var("X_1"), Var("Y_1")}
+
+    def test_str_fact(self):
+        assert str(Rule(atom("r", a))) == 'r("a").'
+
+    def test_str_full(self):
+        rule = Rule(atom("r", X), [atom("s", X, Y)], [Inequality(X, Y)])
+        assert str(rule) == "r(X) :- s(X, Y), X != Y."
+
+    def test_body_relations(self):
+        rule = Rule(atom("r", X), [atom("s", X), atom("t", X, peer="p")])
+        assert rule.body_relations() == {("s", None), ("t", "p")}
+
+
+class TestProgram:
+    def make(self):
+        return Program([
+            Rule(atom("r", X, Y), [atom("a", X, Y)]),
+            Rule(atom("r", X, Y), [atom("s", X, Z), atom("t", Z, Y)]),
+            Rule(atom("s", X, Y), [atom("r", X, Y), atom("b", Y, Z)]),
+            Rule(atom("t", X, Y), [atom("c", X, Y)]),
+            Rule(atom("a", a, b)),
+        ])
+
+    def test_deduplication(self):
+        program = self.make()
+        n = len(program)
+        program.add(Rule(atom("t", X, Y), [atom("c", X, Y)]))
+        assert len(program) == n
+
+    def test_idb_edb_partition(self):
+        program = self.make()
+        assert program.idb_relations() == {("r", None), ("s", None), ("t", None)}
+        assert program.edb_relations() == {("a", None), ("b", None), ("c", None)}
+
+    def test_rules_for(self):
+        program = self.make()
+        assert len(program.rules_for("r")) == 2
+        assert len(program.rules_for("missing")) == 0
+
+    def test_facts_iteration(self):
+        program = self.make()
+        assert [str(f) for f in program.facts()] == ['a("a", "b").']
+
+    def test_is_local(self):
+        assert self.make().is_local()
+        program = Program([Rule(atom("r", X, peer="p"), [atom("s", X, peer="q")])])
+        assert not program.is_local()
+        assert program.peers() == {"p", "q"}
+
+    def test_strip_peers(self):
+        program = Program([Rule(atom("r", X, peer="p"), [atom("s", X, peer="q")])])
+        local = program.strip_peers()
+        assert local.is_local()
+        assert len(local) == 1
+
+    def test_qualify_relations(self):
+        program = Program([Rule(atom("r", X, peer="p"), [atom("s", X, peer="q")])])
+        qualified = program.qualify_relations()
+        heads = [rule.head.relation for rule in qualified]
+        assert heads == ["r@p"]
+
+
+class TestQuery:
+    def test_bound_positions(self):
+        q = Query(atom("r", a, X, Func("f", [b])))
+        assert q.bound_positions() == (0, 2)
+
+    def test_str(self):
+        assert str(Query(atom("r", a))) == '?- r("a").'

@@ -1,0 +1,139 @@
+"""Tests for alarms, the declarative checker, brute force and [8] baseline."""
+
+import pytest
+
+from repro.diagnosis import (Alarm, AlarmSequence, DedicatedDiagnoser,
+                             bruteforce_diagnosis, explains)
+from repro.petri import unfold
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+from repro.petri.generators import random_safe_net
+from repro.workloads.alarmgen import simulate_alarms  # noqa: F401  (import check)
+
+
+class TestAlarmSequence:
+    def test_by_peer(self):
+        seq = AlarmSequence([("b", "p1"), ("a", "p2"), ("c", "p1")])
+        assert seq.by_peer() == {"p1": ("b", "c"), "p2": ("a",)}
+
+    def test_equivalence_under_interleaving(self):
+        left = AlarmSequence([("b", "p1"), ("a", "p2"), ("c", "p1")])
+        right = AlarmSequence([("b", "p1"), ("c", "p1"), ("a", "p2")])
+        wrong = AlarmSequence([("c", "p1"), ("b", "p1"), ("a", "p2")])
+        assert left.equivalent(right)
+        assert not left.equivalent(wrong)
+
+    def test_peers_order(self):
+        seq = AlarmSequence([("a", "x"), ("b", "y"), ("c", "x")])
+        assert seq.peers() == ("x", "y")
+
+    def test_alarm_objects_accepted(self):
+        seq = AlarmSequence([Alarm("a", "p")])
+        assert seq.project("p") == ("a",)
+
+
+def scenario(name):
+    return AlarmSequence(figure1_alarm_scenarios()[name])
+
+
+class TestExplains:
+    def setup_method(self):
+        self.petri = figure1_net()
+        self.bp = unfold(self.petri)
+        self.by_transition = {e.transition: e.eid for e in self.bp.events.values()}
+
+    def config(self, *transitions):
+        return [self.by_transition[t] for t in transitions]
+
+    def test_running_example_positive(self):
+        assert explains(self.bp, self.config("i", "iii", "v"), scenario("bac"))
+        assert explains(self.bp, self.config("i", "iii", "v"), scenario("bca"))
+
+    def test_running_example_negative(self):
+        assert not explains(self.bp, self.config("i", "iii", "v"), scenario("cba"))
+
+    def test_wrong_event_count(self):
+        assert not explains(self.bp, self.config("i", "v"), scenario("bac"))
+
+    def test_invalid_configuration_rejected(self):
+        assert not explains(self.bp, self.config("iii"), AlarmSequence([("c", "p1")]))
+
+    def test_single_event(self):
+        assert explains(self.bp, self.config("ii"), AlarmSequence([("c", "p1")]))
+
+
+class TestBruteforce:
+    def test_running_example(self):
+        petri = figure1_net()
+        result = bruteforce_diagnosis(petri, scenario("bac"))
+        assert len(result.diagnoses) == 1
+        (config,) = result.diagnoses
+        transitions = sorted(result.bp.events[e].transition for e in config)
+        assert transitions == ["i", "iii", "v"]
+
+    def test_equivalent_interleaving_same_diagnosis(self):
+        petri = figure1_net()
+        assert (bruteforce_diagnosis(petri, scenario("bac")).diagnoses
+                == bruteforce_diagnosis(petri, scenario("bca")).diagnoses)
+
+    def test_impossible_sequence(self):
+        petri = figure1_net()
+        assert bruteforce_diagnosis(petri, scenario("cba")).diagnoses == frozenset()
+
+    def test_all_diagnoses_explain(self):
+        petri = figure1_net()
+        alarms = scenario("bac")
+        result = bruteforce_diagnosis(petri, alarms)
+        for config in result.diagnoses:
+            assert explains(result.bp, config, alarms)
+
+    def test_ambiguous_alarms_multiple_diagnoses(self):
+        # Two transitions with the same alarm from the same state: two
+        # explanations.
+        from repro.petri.net import PetriNet
+        petri = PetriNet.build(
+            places={"s": "p", "x1": "p", "x2": "p"},
+            transitions={"t1": ("a", "p"), "t2": ("a", "p")},
+            edges=[("s", "t1"), ("t1", "x1"), ("s", "t2"), ("t2", "x2")],
+            marking=["s"])
+        result = bruteforce_diagnosis(petri, AlarmSequence([("a", "p")]))
+        assert len(result.diagnoses) == 2
+
+
+class TestDedicated:
+    def test_running_example_matches_bruteforce(self):
+        petri = figure1_net()
+        for name in ("bac", "bca", "cba"):
+            alarms = scenario(name)
+            brute = bruteforce_diagnosis(petri, alarms)
+            dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
+            # Compare via canonical event ids.
+            brute_ids = frozenset(frozenset(e for e in c) for c in brute.diagnoses)
+            assert dedicated.diagnoses == brute_ids, name
+
+    def test_projected_prefix_is_relevant_subset(self):
+        petri = figure1_net()
+        alarms = scenario("bac")
+        result = DedicatedDiagnoser(petri).diagnose(alarms)
+        full = unfold(petri)
+        # The projected prefix is a subset of the full unfolding's events.
+        assert result.projected_events <= frozenset(full.events)
+        # ii (alarm c directly from the initial state) is relevant: it can
+        # explain prefixes where p1's first alarm were c -- but p1's first
+        # alarm is b, so ii is NOT explored by the product.
+        ii_ids = {e.eid for e in full.events.values() if e.transition == "ii"}
+        assert not (ii_ids & result.projected_events)
+
+    def test_projection_merges_chain_positions(self):
+        petri = figure1_net()
+        alarms = scenario("bac")
+        result = DedicatedDiagnoser(petri).diagnose(alarms)
+        assert len(result.projected_events) <= len(result.product_bp.events)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_bruteforce_on_random_nets(self, seed):
+        petri = random_safe_net(seed, branching=0.5)
+        alarms = simulate_alarms(petri, steps=3, seed=seed)
+        brute = bruteforce_diagnosis(petri, alarms)
+        dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
+        assert dedicated.diagnoses == brute.diagnoses
+        assert len(dedicated.diagnoses) >= 1  # the true run explains itself

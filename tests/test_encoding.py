@@ -1,0 +1,202 @@
+"""Tests for the Section-4.1 unfolding encoding (Theorem 2, Lemma 1)."""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.seminaive import EvaluationBudget, SemiNaiveEvaluator
+from repro.diagnosis.encoding import (CAUSAL, NOTCAUSAL, NOTCONF, PLACES,
+                                      TRANS1, TRANS2, UnfoldingEncoder,
+                                      node_id_of_term)
+from repro.datalog.parser import parse_term
+from repro.errors import EncodingError
+from repro.petri.examples import figure1_net, two_peer_chain_net
+from repro.petri.generators import random_safe_net
+from repro.petri.net import PetriNet
+from repro.petri.relations import NodeRelations
+from repro.petri.unfolding import unfold
+
+
+def evaluate_encoding(petri, budget=None):
+    encoder = UnfoldingEncoder(petri)
+    program = encoder.program()
+    db = Database()
+    evaluator = SemiNaiveEvaluator(
+        program.program, budget or EvaluationBudget(max_facts=500_000))
+    evaluator.run(db)
+    return db
+
+
+def collect_nodes(db):
+    events, conditions = set(), set()
+    for key in db.relations():
+        relation, _peer = key
+        if relation in (TRANS1, TRANS2):
+            for fact in db.facts(key):
+                events.add(node_id_of_term(fact[0]))
+        elif relation == PLACES:
+            for fact in db.facts(key):
+                conditions.add(node_id_of_term(fact[0]))
+    return events, conditions
+
+
+class TestNodeIds:
+    def test_canonical_strings(self):
+        term = parse_term('f(i, g(r, 1), g(r, 7))')
+        assert node_id_of_term(term) == "f(i,g(r,1),g(r,7))"
+
+    def test_rejects_variables(self):
+        with pytest.raises(EncodingError):
+            node_id_of_term(parse_term("f(X)"))
+
+
+class TestEncoderValidation:
+    def test_wide_transition_rejected(self):
+        petri = PetriNet.build(
+            places={"a": "p", "b": "p", "c": "p", "d": "p"},
+            transitions={"t": ("x", "p")},
+            edges=[("a", "t"), ("b", "t"), ("c", "t"), ("t", "d")],
+            marking=["a", "b", "c"])
+        with pytest.raises(EncodingError):
+            UnfoldingEncoder(petri)
+
+    def test_virtual_root_collision_rejected(self):
+        petri = PetriNet.build(
+            places={"r": "p", "b": "p"},
+            transitions={"t": ("x", "p")},
+            edges=[("r", "t"), ("t", "b")],
+            marking=["r"])
+        with pytest.raises(EncodingError):
+            UnfoldingEncoder(petri)
+
+
+class TestTheorem2:
+    """The program-derived nodes biject with the unfolder's nodes."""
+
+    @pytest.mark.parametrize("net_builder", [figure1_net, two_peer_chain_net])
+    def test_acyclic_nets_exact(self, net_builder):
+        petri = net_builder()
+        db = evaluate_encoding(petri)
+        events, conditions = collect_nodes(db)
+        bp = unfold(petri)
+        assert events == set(bp.events)
+        assert conditions == set(bp.conditions)
+
+    def test_map_relation_matches_rho(self):
+        petri = figure1_net()
+        db = evaluate_encoding(petri)
+        bp = unfold(petri)
+        mapped = {}
+        for key in db.relations():
+            if key[0] == "map":
+                for fact in db.facts(key):
+                    mapped[node_id_of_term(fact[0])] = node_id_of_term(fact[1])
+        for eid, event in bp.events.items():
+            assert mapped[eid] == event.transition
+        for cid, condition in bp.conditions.items():
+            assert mapped[cid] == condition.place
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_cyclic_nets_depth_bounded(self, seed):
+        # For cyclic nets, compare depth-bounded prefixes: evaluate the
+        # program with a term-depth budget and the unfolder with the
+        # matching event-depth bound.
+        petri = random_safe_net(seed, branching=0.3)
+        depth = 3
+        budget = EvaluationBudget(max_facts=500_000,
+                                  max_term_depth=2 * depth + 1, prune_depth=True)
+        db = evaluate_encoding(petri, budget)
+        events, _conditions = collect_nodes(db)
+        bp = unfold(petri, max_depth=depth, max_events=50_000)
+        # Every unfolder event of depth <= depth appears among the
+        # program's events (the program may go slightly deeper because
+        # term depth != event depth exactly).
+        assert set(bp.events) <= events
+
+
+class TestLemma1:
+    def setup_method(self):
+        self.petri = figure1_net()
+        self.db = evaluate_encoding(self.petri)
+        self.bp = unfold(self.petri)
+        self.relations = NodeRelations(self.bp)
+
+    def pairs(self, relation):
+        out = set()
+        for key in self.db.relations():
+            if key[0] == relation:
+                for fact in self.db.facts(key):
+                    out.add(tuple(node_id_of_term(t) for t in fact))
+        return out
+
+    def test_not_causal_complete_and_sound(self):
+        derived = self.pairs(NOTCAUSAL)
+        for x in self.bp.events:
+            for y in list(self.bp.conditions):
+                expected = not self.relations.causal_leq(y, x)
+                assert ((x, y) in derived) == expected, (x, y)
+
+    def test_not_conf_matches_conflict(self):
+        derived = self.pairs(NOTCONF)
+        for x in self.bp.events:
+            for y in self.bp.events:
+                expected = not self.relations.in_conflict(x, y)
+                assert ((x, x, y) in derived) == expected, (x, y)
+
+    def test_causal_matches_ancestry(self):
+        derived = self.pairs(CAUSAL)
+        for x in self.bp.events:
+            for y in self.bp.events:
+                expected = self.relations.causal_leq(y, x)
+                assert ((x, y) in derived) == expected, (x, y)
+
+    @pytest.mark.parametrize("seed", [0, 2])
+    def test_lemma1_on_random_acyclic_prefix(self, seed):
+        # Use an acyclic two-peer chain variant to keep the full fixpoint
+        # finite: the producer/consumer example with a branching choice.
+        petri = two_peer_chain_net()
+        db = evaluate_encoding(petri)
+        bp = unfold(petri)
+        relations = NodeRelations(bp)
+        derived = set()
+        for key in db.relations():
+            if key[0] == NOTCONF:
+                for fact in db.facts(key):
+                    derived.add(tuple(node_id_of_term(t) for t in fact))
+        for x in bp.events:
+            for y in bp.events:
+                expected = not relations.in_conflict(x, y)
+                assert ((x, x, y) in derived) == expected
+
+
+class TestLocality:
+    def test_rules_at_peer_mention_only_neighbourhood(self):
+        # The Section-4.1 claim: each peer's rules are defined from its
+        # local view.  Check that rule bodies at peer p only reference
+        # peers from p's structural neighbourhood.
+        petri = figure1_net()
+        encoder = UnfoldingEncoder(petri)
+        net = petri.net
+        for peer in sorted(net.peers()):
+            allowed = ({peer}
+                       | set(net.neighbors(peer))
+                       | set(net.mates(peer))
+                       | set(encoder.mates(peer))
+                       | set(encoder.place_home_peers()))
+            for rule in encoder.peer_rules(peer):
+                mentioned = {atom.peer for atom in rule.body} | {rule.head.peer}
+                assert mentioned <= allowed, (peer, str(rule))
+
+    def test_creator_specs(self):
+        petri = figure1_net()
+        encoder = UnfoldingEncoder(petri)
+        # Place 1 is only a root (marked, no producers).
+        specs = encoder.creators("1")
+        assert [(s.kind, s.peer) for s in specs] == [("root", "p1")]
+        # Place 2 is created by transition i at p1.
+        specs = encoder.creators("2")
+        assert [(s.kind, s.peer) for s in specs] == [("trans", "p1")]
+
+    def test_place_home_peers(self):
+        petri = figure1_net()
+        encoder = UnfoldingEncoder(petri)
+        assert encoder.place_home_peers() == ["p1", "p2"]

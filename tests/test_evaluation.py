@@ -1,0 +1,175 @@
+"""Tests for naive and semi-naive bottom-up evaluation."""
+
+import pytest
+
+from repro.datalog import (Database, EvaluationBudget, NaiveEvaluator, Query,
+                           SemiNaiveEvaluator, parse_atom, parse_program)
+from repro.datalog.naive import load_facts, select
+from repro.errors import BudgetExceeded
+
+TC = """
+path(X, Y) :- edge(X, Y).
+path(X, Y) :- edge(X, Z), path(Z, Y).
+edge("a", "b").
+edge("b", "c").
+edge("c", "d").
+"""
+
+
+def answers_of(evaluator_cls, text, query_text, budget=None):
+    program = parse_program(text)
+    db = load_facts(program)
+    evaluator = evaluator_cls(program, budget) if budget else evaluator_cls(program)
+    return evaluator.answers(db, Query(parse_atom(query_text)))
+
+
+class TestTransitiveClosure:
+    def test_naive(self):
+        answers = answers_of(NaiveEvaluator, TC, "path(X, Y)")
+        assert len(answers) == 6
+
+    def test_seminaive(self):
+        answers = answers_of(SemiNaiveEvaluator, TC, "path(X, Y)")
+        assert len(answers) == 6
+
+    def test_engines_agree(self):
+        assert (answers_of(NaiveEvaluator, TC, 'path("a", Y)')
+                == answers_of(SemiNaiveEvaluator, TC, 'path("a", Y)'))
+
+    def test_query_selection(self):
+        answers = answers_of(SemiNaiveEvaluator, TC, 'path("b", Y)')
+        values = {fact[1].value for fact in answers}
+        assert values == {"c", "d"}
+
+    def test_seminaive_does_less_work(self):
+        program = parse_program(TC)
+        naive = NaiveEvaluator(program)
+        naive.run(load_facts(program))
+        semi = SemiNaiveEvaluator(program)
+        semi.run(load_facts(program))
+        assert semi.counters["derivations"] <= naive.counters["derivations"]
+        assert semi.counters["facts_materialized"] == naive.counters["facts_materialized"]
+
+
+class TestActivation:
+    def test_naive_activates_only_reachable_rules(self):
+        text = TC + """
+        unrelated(X) :- huge(X).
+        huge("x1").
+        """
+        program = parse_program(text)
+        db = load_facts(program)
+        evaluator = NaiveEvaluator(program)
+        evaluator.answers(db, Query(parse_atom("path(X, Y)")))
+        # 'unrelated' is never activated, hence never materialized.
+        assert db.count(("unrelated", None)) == 0
+        assert evaluator.counters["rules_activated"] == 2
+
+
+class TestInequalities:
+    TEXT = """
+    sibling(X, Y) :- parent(Z, X), parent(Z, Y), X != Y.
+    parent("p", "a").
+    parent("p", "b").
+    """
+
+    def test_inequality_filters(self):
+        answers = answers_of(SemiNaiveEvaluator, self.TEXT, "sibling(X, Y)")
+        pairs = {(f[0].value, f[1].value) for f in answers}
+        assert pairs == {("a", "b"), ("b", "a")}
+
+    def test_naive_agrees(self):
+        assert (answers_of(NaiveEvaluator, self.TEXT, "sibling(X, Y)")
+                == answers_of(SemiNaiveEvaluator, self.TEXT, "sibling(X, Y)"))
+
+
+class TestFunctionSymbols:
+    NATS = """
+    nat(s(X)) :- nat(X).
+    nat(z()).
+    """
+
+    def test_divergence_raises_budget_exceeded(self):
+        program = parse_program(self.NATS)
+        with pytest.raises(BudgetExceeded):
+            SemiNaiveEvaluator(program, EvaluationBudget(max_facts=50)).run(Database())
+
+    def test_iteration_budget(self):
+        program = parse_program(self.NATS)
+        with pytest.raises(BudgetExceeded):
+            SemiNaiveEvaluator(program, EvaluationBudget(max_iterations=10)).run(Database())
+
+    def test_depth_budget_raises_by_default(self):
+        program = parse_program(self.NATS)
+        budget = EvaluationBudget(max_term_depth=5)
+        with pytest.raises(BudgetExceeded):
+            SemiNaiveEvaluator(program, budget).run(Database())
+
+    def test_depth_pruning_terminates(self):
+        program = parse_program(self.NATS)
+        budget = EvaluationBudget(max_term_depth=5, prune_depth=True)
+        evaluator = SemiNaiveEvaluator(program, budget)
+        db = evaluator.run(Database())
+        # z() has depth 1, s(z()) depth 2, ...: depths 1..5 survive.
+        assert db.count(("nat", None)) == 5
+        assert evaluator.counters["pruned_deep_facts"] >= 1
+
+    def test_terms_constructed_in_heads(self):
+        text = """
+        pair(p(X, Y)) :- left(X), right(Y).
+        left("a").
+        right("b").
+        """
+        answers = answers_of(SemiNaiveEvaluator, text, "pair(Z)")
+        assert len(answers) == 1
+        (fact,) = answers
+        assert str(fact[0]) == 'p("a","b")'
+
+
+class TestLocatedPrograms:
+    def test_peers_are_separate_relations(self):
+        text = """
+        r@p(X) :- base@p(X).
+        r@q(X) :- base@q(X).
+        base@p("1").
+        base@q("2").
+        """
+        program = parse_program(text)
+        db = load_facts(program)
+        SemiNaiveEvaluator(program).run(db)
+        assert db.count(("r", "p")) == 1
+        assert db.count(("r", "q")) == 1
+
+    def test_cross_peer_rule(self):
+        text = """
+        r@p(X, Y) :- s@q(X, Y).
+        s@q("1", "2").
+        """
+        program = parse_program(text)
+        db = load_facts(program)
+        SemiNaiveEvaluator(program).run(db)
+        assert db.contains(("r", "p"), tuple(parse_atom('x("1","2")').args))
+
+
+class TestSelect:
+    def test_select_with_pattern(self):
+        program = parse_program(TC)
+        db = load_facts(program)
+        SemiNaiveEvaluator(program).run(db)
+        got = select(db, parse_atom('path(X, "d")'))
+        assert {f[0].value for f in got} == {"a", "b", "c"}
+
+    def test_select_repeated_variable(self):
+        db = Database()
+        program = parse_program('r("a", "a"). r("a", "b").')
+        load_facts(program, db)
+        got = select(db, parse_atom("r(X, X)"))
+        assert len(got) == 1
+
+
+class TestStress:
+    def test_long_chain(self):
+        edges = "\n".join(f'edge("n{i}", "n{i+1}").' for i in range(60))
+        text = "path(X, Y) :- edge(X, Y).\npath(X, Y) :- edge(X, Z), path(Z, Y).\n" + edges
+        answers = answers_of(SemiNaiveEvaluator, text, 'path("n0", Y)')
+        assert len(answers) == 60

@@ -1,0 +1,69 @@
+"""Tests for the experiment harness (fast experiments only)."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_all
+from repro.experiments.harness import ExperimentResult, write_report
+
+
+class TestRegistry:
+    def test_all_ids_present(self):
+        for experiment_id in ("E1", "E2", "E3", "E4", "E5", "E6a", "E6b",
+                              "E7", "A1", "A2", "A3", "A4"):
+            assert experiment_id in EXPERIMENTS
+
+    def test_e1_shape(self):
+        result = EXPERIMENTS["E1"]()
+        assert result.experiment_id == "E1"
+        assert len(result.rows) == 3
+        # Every solver agrees on every scenario.
+        for row in result.rows:
+            assert row[-1] is True and row[-2] is True
+
+    def test_e2_shape(self):
+        result = EXPERIMENTS["E2"]()
+        by_name = {row[0]: row[1] for row in result.rows}
+        # QSQ's full materialization is below naive's.
+        assert by_name["QSQ (all rewritten rels)"] <= by_name["naive (activated)"] * 3
+        assert by_name["semi-naive"] == by_name["naive (activated)"]
+
+    def test_e3_shape(self):
+        result = EXPERIMENTS["E3"]()
+        assert any("Theorem 1" in note and "True" in note for note in result.notes)
+
+    def test_e4_shape(self):
+        result = EXPERIMENTS["E4"]()
+        for row in result.rows:
+            assert row[-1] is True and row[-2] is True
+
+    def test_a3_shape(self):
+        result = EXPERIMENTS["A3"]()
+        oracle_row, detector_row = result.rows
+        assert detector_row[1] > oracle_row[1]
+
+    def test_a4_shape(self):
+        result = EXPERIMENTS["A4"]()
+        for row in result.rows:
+            assert row[1] > 0 and row[2] > 0
+
+
+class TestHarness:
+    def test_run_all_subset(self, capsys):
+        results = run_all(only=["E1"], verbose=True)
+        assert len(results) == 1
+        assert "E1" in capsys.readouterr().out
+
+    def test_markdown_and_text_rendering(self):
+        result = ExperimentResult("X1", "demo", "none", ["a"], [[1]],
+                                  notes=["hello"])
+        assert "X1" in result.to_text()
+        markdown = result.to_markdown()
+        assert markdown.startswith("### X1")
+        assert "| a |" in markdown
+
+    def test_write_report(self, tmp_path):
+        result = ExperimentResult("X1", "demo", "none", ["a"], [[1]])
+        path = tmp_path / "report.md"
+        write_report(str(path), [result])
+        content = path.read_text()
+        assert "X1" in content and content.startswith("# EXPERIMENTS")

@@ -1,0 +1,192 @@
+"""Tests for the Section-4.4 extensions."""
+
+import pytest
+
+from repro.diagnosis import AlarmSequence, bruteforce_diagnosis
+from repro.diagnosis.extensions import (ExtendedDiagnosisEngine,
+                                        GeneralizedSupervisorEncoder,
+                                        ObservationSpec,
+                                        dedicated_pattern_diagnosis,
+                                        totalize_and_complement)
+from repro.diagnosis.patterns import AlarmPattern, PatternObserverBuilder
+from repro.errors import EncodingError
+from repro.petri.examples import figure1_net
+from repro.petri.product import Observer
+
+
+def sym(s):
+    return AlarmPattern.symbol(s)
+
+
+class TestAlarmPattern:
+    def test_symbol(self):
+        assert sym("a").matches(["a"])
+        assert not sym("a").matches(["b"])
+        assert not sym("a").matches([])
+
+    def test_concat_star(self):
+        # The paper's example shape: alpha.beta*.alpha
+        pattern = sym("a").then(sym("b").star()).then(sym("a"))
+        assert pattern.matches(["a", "a"])
+        assert pattern.matches(["a", "b", "a"])
+        assert pattern.matches(["a", "b", "b", "b", "a"])
+        assert not pattern.matches(["a", "b"])
+        assert not pattern.matches(["b", "a"])
+
+    def test_alt(self):
+        pattern = sym("a").alt(sym("b"))
+        assert pattern.matches(["a"]) and pattern.matches(["b"])
+        assert not pattern.matches(["a", "b"])
+
+    def test_plus(self):
+        pattern = sym("a").plus()
+        assert pattern.matches(["a"]) and pattern.matches(["a", "a"])
+        assert not pattern.matches([])
+
+    def test_epsilon(self):
+        assert AlarmPattern.epsilon().matches([])
+        assert not AlarmPattern.epsilon().matches(["a"])
+
+    def test_sequence(self):
+        pattern = AlarmPattern.sequence(["x", "y"])
+        assert pattern.matches(["x", "y"])
+        assert not pattern.matches(["y", "x"])
+
+    def test_to_observer(self):
+        observer = sym("a").then(sym("b")).to_observer("p")
+        observer.validate()
+        assert observer.peer == "p"
+        assert len(observer.accepting) >= 1
+
+    def test_builder(self):
+        builder = PatternObserverBuilder().expect("p1", sym("a"))
+        assert builder.peers() == ("p1",)
+        assert len(builder.observers()) == 1
+
+
+class TestComplement:
+    def test_complement_swaps_membership(self):
+        pattern = sym("c").then(sym("b").alt(sym("c")).star())
+        observer = totalize_and_complement(pattern.to_observer("p"), ("b", "c"))
+        # Words starting with c are rejected by the complement.
+        def accepts(word):
+            state = observer.initial
+            delta = {(e.source, e.alarm): e.target for e in observer.edges}
+            for symbol in word:
+                state = delta[(state, symbol)]
+            return state in observer.accepting
+        assert not accepts(["c"])
+        assert not accepts(["c", "b"])
+        assert accepts(["b"])
+        assert accepts([])
+        assert accepts(["b", "c"])
+
+
+def chain_spec(max_events=3, hidden=frozenset()):
+    return ObservationSpec(observers={
+        "p1": Observer.chain("p1", ["b", "c"]),
+        "p2": Observer.chain("p2", ["a"]),
+    }, hidden=hidden, max_events=max_events)
+
+
+class TestGeneralizedEncoder:
+    def test_collision_rejected(self):
+        with pytest.raises(EncodingError):
+            GeneralizedSupervisorEncoder(figure1_net(), chain_spec(),
+                                         supervisor="p1")
+
+    def test_unknown_observer_peer_rejected(self):
+        spec = ObservationSpec(observers={"zz": Observer.chain("zz", [])})
+        with pytest.raises(EncodingError):
+            GeneralizedSupervisorEncoder(figure1_net(), spec)
+
+    def test_program_builds(self):
+        encoder = GeneralizedSupervisorEncoder(figure1_net(), chain_spec())
+        program = encoder.program()
+        assert len(program) > 50
+
+
+class TestChainEquivalence:
+    """Chain observers reproduce the basic problem exactly."""
+
+    @pytest.mark.parametrize("mode", ["qsq", "dqsq"])
+    def test_matches_basic_diagnosis(self, mode):
+        petri = figure1_net()
+        alarms = AlarmSequence([("b", "p1"), ("a", "p2"), ("c", "p1")])
+        expected = bruteforce_diagnosis(petri, alarms).diagnoses
+        got = ExtendedDiagnosisEngine(petri, chain_spec(), mode=mode).diagnose()
+        assert got.diagnoses == expected
+
+    def test_dedicated_reference_agrees(self):
+        petri = figure1_net()
+        alarms = AlarmSequence([("b", "p1"), ("a", "p2"), ("c", "p1")])
+        expected = bruteforce_diagnosis(petri, alarms).diagnoses
+        assert dedicated_pattern_diagnosis(petri, chain_spec()) == expected
+
+
+class TestHiddenTransitions:
+    def test_hidden_v_yields_optional_event(self):
+        # Hiding v (alarm a at p2): observing b, c at p1 has two
+        # explanations -- with and without the concurrent hidden v.
+        petri = figure1_net()
+        spec = ObservationSpec(observers={
+            "p1": Observer.chain("p1", ["b", "c"]),
+            "p2": Observer.chain("p2", []),
+        }, hidden=frozenset({"v"}), max_events=4)
+        got = ExtendedDiagnosisEngine(petri, spec, mode="qsq").diagnose()
+        assert len(got.diagnoses) == 2
+        assert got.diagnoses == dedicated_pattern_diagnosis(petri, spec)
+
+    def test_hidden_event_can_be_required(self):
+        # Hide i (alarm b); then observing just c at p1 can be explained
+        # by ii alone, or by hidden-i followed by iii.
+        petri = figure1_net()
+        spec = ObservationSpec(observers={
+            "p1": Observer.chain("p1", ["c"]),
+            "p2": Observer.chain("p2", []),
+        }, hidden=frozenset({"i"}), max_events=3)
+        got = ExtendedDiagnosisEngine(petri, spec, mode="qsq").diagnose()
+        assert got.diagnoses == dedicated_pattern_diagnosis(petri, spec)
+        assert len(got.diagnoses) == 2
+
+
+class TestPatterns:
+    @pytest.mark.parametrize("mode", ["qsq", "dqsq"])
+    def test_star_pattern(self, mode):
+        petri = figure1_net()
+        spec = ObservationSpec.from_patterns({
+            "p1": sym("b").then(sym("c").star()),
+            "p2": AlarmPattern.epsilon().alt(sym("a")),
+        }, max_events=4)
+        got = ExtendedDiagnosisEngine(petri, spec, mode=mode).diagnose()
+        expected = dedicated_pattern_diagnosis(petri, spec)
+        assert got.diagnoses == expected
+        assert len(got.diagnoses) == 4
+
+    def test_blocked_pattern(self):
+        # Configurations whose p1-word does NOT start with c.
+        petri = figure1_net()
+        bad = sym("c").then(sym("b").alt(sym("c")).star())
+        observer = totalize_and_complement(bad.to_observer("p1"), ("b", "c"))
+        spec = ObservationSpec(observers={
+            "p1": observer,
+            "p2": Observer.chain("p2", []),
+        }, max_events=2)
+        got = ExtendedDiagnosisEngine(petri, spec, mode="qsq").diagnose()
+        expected = dedicated_pattern_diagnosis(petri, spec)
+        assert got.diagnoses == expected
+        # The empty config, {i}, and {i, iii} -- but nothing containing ii.
+        for diagnosis in got.diagnoses:
+            assert not any("f(ii," in event for event in diagnosis)
+
+    def test_gas_bounds_search(self):
+        # With pattern c* at p1 on a cyclic-free net the gas bound caps
+        # the configuration size.
+        petri = figure1_net()
+        spec = ObservationSpec.from_patterns({
+            "p1": sym("b").then(sym("c").star()),
+            "p2": AlarmPattern.epsilon(),
+        }, max_events=1)
+        got = ExtendedDiagnosisEngine(petri, spec, mode="qsq").diagnose()
+        for diagnosis in got.diagnoses:
+            assert len(diagnosis) <= 1

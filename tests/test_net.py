@@ -1,0 +1,122 @@
+"""Unit tests for nets, Petri nets and the token game."""
+
+import pytest
+
+from repro.errors import (NotFireableError, NotSafeError, PetriNetError)
+from repro.petri import (PetriNet, enabled_transitions, fire, is_safe,
+                         reachable_markings, run_sequence)
+from repro.petri.examples import cyclic_net, figure1_net, two_peer_chain_net
+from repro.petri.net import Net
+
+
+class TestNetValidation:
+    def test_edge_between_places_rejected(self):
+        with pytest.raises(PetriNetError):
+            Net(places=["p", "q"], transitions=["t"], edges=[("p", "q")],
+                alarm={"t": "a"}, peer={"p": "x", "q": "x", "t": "x"})
+
+    def test_missing_alarm_rejected(self):
+        with pytest.raises(PetriNetError):
+            Net(places=["p"], transitions=["t"], edges=[("p", "t")],
+                alarm={}, peer={"p": "x", "t": "x"})
+
+    def test_missing_peer_rejected(self):
+        with pytest.raises(PetriNetError):
+            Net(places=["p"], transitions=["t"], edges=[("p", "t")],
+                alarm={"t": "a"}, peer={"t": "x"})
+
+    def test_overlapping_node_sets_rejected(self):
+        with pytest.raises(PetriNetError):
+            Net(places=["n"], transitions=["n"], edges=[],
+                alarm={"n": "a"}, peer={"n": "x"})
+
+    def test_unknown_edge_node_rejected(self):
+        with pytest.raises(PetriNetError):
+            Net(places=["p"], transitions=["t"], edges=[("p", "zz")],
+                alarm={"t": "a"}, peer={"p": "x", "t": "x"})
+
+    def test_marking_must_be_places(self):
+        net = figure1_net().net
+        with pytest.raises(PetriNetError):
+            PetriNet(net, ["i"])
+
+
+class TestFigure1Structure:
+    def test_stated_facts_from_the_paper(self):
+        petri = figure1_net()
+        net = petri.net
+        # alpha(i) = b, phi(i) = P1, preset(i) = {1,7}, postset(i) = {2,3}
+        assert net.alarm["i"] == "b"
+        assert net.peer["i"] == "p1"
+        assert set(net.parents("i")) == {"1", "7"}
+        assert set(net.children("i")) == {"2", "3"}
+
+    def test_initially_enabled(self):
+        petri = figure1_net()
+        assert enabled_transitions(petri.net, petri.marking) == ("i", "ii", "v")
+
+    def test_firing_i(self):
+        petri = figure1_net()
+        after = fire(petri.net, petri.marking, "i")
+        assert "1" not in after and "7" not in after
+        assert {"2", "3"} <= after
+
+    def test_neighbors(self):
+        net = figure1_net().net
+        # iv at p2 consumes place 3 produced by i at p1; i at p1 consumes
+        # place 7 (a root at p2): Neighb relates the peers through
+        # grandparent transitions.
+        assert "p1" in net.neighbors("p2")
+
+    def test_peers(self):
+        assert figure1_net().net.peers() == {"p1", "p2"}
+
+
+class TestTokenGame:
+    def test_not_enabled_raises(self):
+        petri = figure1_net()
+        with pytest.raises(NotFireableError):
+            fire(petri.net, petri.marking, "iii")
+
+    def test_unknown_transition_raises(self):
+        petri = figure1_net()
+        with pytest.raises(PetriNetError):
+            fire(petri.net, petri.marking, "nope")
+
+    def test_run_sequence(self):
+        petri = figure1_net()
+        final = run_sequence(petri, ["i", "v", "iii"])
+        assert "4" in final and "6" in final
+
+    def test_safety_violation_detected(self):
+        # A net where firing t puts a second token on a marked place.
+        petri = PetriNet.build(
+            places={"p": "x", "q": "x"},
+            transitions={"t": ("a", "x")},
+            edges=[("p", "t"), ("t", "q")],
+            marking=["p", "q"])
+        with pytest.raises(NotSafeError):
+            fire(petri.net, petri.marking, "t")
+        assert not is_safe(petri)
+
+
+class TestReachability:
+    def test_figure1_reachable_markings(self):
+        petri = figure1_net()
+        markings = list(reachable_markings(petri))
+        assert petri.marking in markings
+        assert len(markings) == len(set(markings))
+        # After i, iii, v, iv everything is consumed into {4, 8}.
+        assert frozenset({"4", "8"}) in markings
+
+    def test_figure1_is_safe(self):
+        assert is_safe(figure1_net())
+
+    def test_examples_are_safe(self):
+        assert is_safe(two_peer_chain_net())
+        assert is_safe(cyclic_net())
+
+    def test_bound_enforced(self):
+        petri = figure1_net()
+        with pytest.raises(PetriNetError):
+            list(reachable_markings(petri, max_markings=2))

@@ -1,0 +1,157 @@
+"""Tests for the online diagnoser and the Definition-vs-algorithm subtlety.
+
+Two things live here:
+
+1. :class:`OnlineDiagnoser`: after every pushed alarm its diagnosis set
+   must equal the batch diagnosis of the prefix, and its materialized
+   branching process must only grow.
+
+2. The *crossing* counterexample: the paper's Output definition checks
+   per-peer order only (condition (iii)); a configuration whose
+   cross-peer causality forms a cycle with the per-peer emission orders
+   satisfies (iii) but is physically unrealizable.  All solvers (the
+   Section-4.2 program, [8], brute force) implement the realizable
+   semantics; ``explains`` accepts the literal definition and
+   ``explains_strict`` the realizable one.
+"""
+
+import pytest
+
+from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
+                             DedicatedDiagnoser, bruteforce_diagnosis, explains)
+from repro.diagnosis.online import OnlineDiagnoser, online_diagnosis
+from repro.diagnosis.problem import explains_strict
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+from repro.petri.generators import random_safe_net
+from repro.petri.net import PetriNet
+from repro.petri.unfolding import unfold
+from repro.workloads.alarmgen import simulate_alarms
+
+
+class TestOnlineDiagnoser:
+    def test_running_example_matches_batch(self):
+        petri = figure1_net()
+        alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+        online = OnlineDiagnoser(petri)
+        for i, alarm in enumerate(alarms, start=1):
+            online.push(alarm)
+            prefix = AlarmSequence(list(alarms)[:i])
+            batch = bruteforce_diagnosis(petri, prefix).diagnoses
+            assert online.diagnoses() == batch, f"prefix {i}"
+
+    def test_inconsistent_stream_detected(self):
+        petri = figure1_net()
+        online = OnlineDiagnoser(petri)
+        online.push(("c", "p1"))
+        assert online.is_consistent()
+        online.push(("b", "p1"))  # after c, b is impossible at p1
+        assert not online.is_consistent()
+        assert online.diagnoses() == frozenset()
+
+    def test_monotone_materialization(self):
+        petri = figure1_net()
+        alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+        online = OnlineDiagnoser(petri)
+        sizes = []
+        for alarm in alarms:
+            online.push(alarm)
+            sizes.append(len(online.materialized_events()))
+        assert sizes == sorted(sizes)
+
+    def test_materialized_prefix_matches_dedicated(self):
+        petri = figure1_net()
+        alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+        online = OnlineDiagnoser(petri)
+        online.push_all(alarms)
+        dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
+        assert online.materialized_events() == dedicated.projected_events
+        assert online.diagnoses() == dedicated.diagnoses
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_online_equals_batch_on_random_nets(self, seed):
+        petri = random_safe_net(seed, branching=0.5)
+        alarms = simulate_alarms(petri, steps=4, seed=seed)
+        assert (online_diagnosis(petri, alarms)
+                == bruteforce_diagnosis(petri, alarms).diagnoses)
+
+    def test_asynchronous_race_is_handled(self):
+        # The case the naive "extend by the newest alarm" reading gets
+        # wrong: the second-received alarm's event causally precedes the
+        # first-received one.
+        petri = PetriNet.build(
+            places={"qa": "q", "m": "q", "rz": "r", "qz": "q", "ra": "r"},
+            transitions={"x": ("a", "q"), "y": ("b", "r")},
+            edges=[("qa", "x"), ("x", "m"), ("x", "qz"),
+                   ("m", "y"), ("ra", "y"), ("y", "rz")],
+            marking=["qa", "ra"])
+        # y (at r) causally depends on x (at q), but the supervisor
+        # receives r's alarm FIRST.
+        alarms = AlarmSequence([("b", "r"), ("a", "q")])
+        online = OnlineDiagnoser(petri)
+        online.push_all(alarms)
+        assert len(online.diagnoses()) == 1
+        assert online.diagnoses() == bruteforce_diagnosis(petri, alarms).diagnoses
+
+    def test_received_echo(self):
+        petri = figure1_net()
+        online = OnlineDiagnoser(petri)
+        online.push(("b", "p1"))
+        assert online.received() == AlarmSequence([("b", "p1")])
+        assert online.candidate_count() == 1
+
+
+def crossing_net() -> PetriNet:
+    """The semantic counterexample: x2 <= y1 and y2 <= x1 across peers."""
+    return PetriNet.build(
+        places={"qa": "q", "qk": "q", "qz1": "q", "qz2": "q", "m1": "q",
+                "ra": "r", "rk": "r", "rz1": "r", "rz2": "r", "m2": "r"},
+        transitions={"x1": ("a", "q"), "x2": ("b", "q"),
+                     "y1": ("c", "r"), "y2": ("d", "r")},
+        edges=[("qk", "x1"), ("m2", "x1"), ("x1", "qz1"),
+               ("qa", "x2"), ("x2", "m1"), ("x2", "qz2"),
+               ("rk", "y1"), ("m1", "y1"), ("y1", "rz1"),
+               ("ra", "y2"), ("y2", "m2"), ("y2", "rz2")],
+        marking=["qa", "qk", "ra", "rk"])
+
+
+class TestDefinitionVsAlgorithms:
+    def setup_method(self):
+        self.petri = crossing_net()
+        self.bp = unfold(self.petri)
+        self.config = list(self.bp.events)
+        # q observed [a, b]; r observed [c, d].
+        self.alarms = AlarmSequence([("a", "q"), ("b", "q"),
+                                     ("c", "r"), ("d", "r")])
+
+    def test_literal_definition_accepts_the_crossing(self):
+        # Condition (iii) is per-peer: within q, x1 || x2 (no causal
+        # relation), so mapping a->x1, b->x2 has no inversion; same at r.
+        assert explains(self.bp, self.config, self.alarms)
+
+    def test_no_run_realizes_it(self):
+        # Causality forces x2 before y1 and y2 before x1, while the
+        # per-peer orders force x1 before x2 and y1 before y2: a cycle.
+        assert not explains_strict(self.bp, self.config, self.alarms)
+
+    def test_all_solvers_implement_the_realizable_semantics(self):
+        expected = frozenset()  # the only 4-event candidate is unrealizable
+        assert bruteforce_diagnosis(self.petri, self.alarms).diagnoses == expected
+        assert DedicatedDiagnoser(self.petri).diagnose(self.alarms).diagnoses == expected
+        got = DatalogDiagnosisEngine(self.petri, mode="qsq").diagnose(self.alarms)
+        assert got.diagnoses == expected
+
+    def test_realizable_order_is_accepted_by_everything(self):
+        # The physically possible observation: q emits b then a.
+        alarms = AlarmSequence([("b", "q"), ("a", "q"), ("c", "r"), ("d", "r")])
+        assert explains(self.bp, self.config, alarms)
+        assert explains_strict(self.bp, self.config, alarms)
+        assert len(bruteforce_diagnosis(self.petri, alarms).diagnoses) == 1
+
+    def test_strict_implies_literal(self):
+        # On the running example, every strict explanation is a literal one.
+        petri = figure1_net()
+        bp = unfold(petri)
+        alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+        for config in bruteforce_diagnosis(petri, alarms).diagnoses:
+            assert explains_strict(bp, config, alarms)
+            assert explains(bp, config, alarms)

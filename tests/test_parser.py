@@ -1,0 +1,124 @@
+"""Unit tests for the (d)Datalog text parser."""
+
+import pytest
+
+from repro.datalog.atom import Atom, Inequality
+from repro.datalog.parser import parse_atom, parse_program, parse_rule, parse_term
+from repro.datalog.term import Const, Func, Var
+from repro.errors import ParseError
+
+
+class TestTerms:
+    def test_variable(self):
+        assert parse_term("X") == Var("X")
+        assert parse_term("_foo") == Var("_foo")
+
+    def test_string_constant(self):
+        assert parse_term('"hello"') == Const("hello")
+
+    def test_int_constant(self):
+        assert parse_term("42") == Const(42)
+        assert parse_term("-7") == Const(-7)
+
+    def test_bare_name_is_constant(self):
+        assert parse_term("p1") == Const("p1")
+
+    def test_function_term(self):
+        assert parse_term("f(X, g(a))") == Func("f", [Var("X"), Func("g", [Const("a")])])
+
+    def test_nullary_function(self):
+        assert parse_term("f()") == Func("f", [])
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ParseError):
+            parse_term("X Y")
+
+
+class TestAtoms:
+    def test_local_atom(self):
+        assert parse_atom("r(X, 1)") == Atom("r", [Var("X"), Const(1)])
+
+    def test_located_atom(self):
+        assert parse_atom("r@p1(X)") == Atom("r", [Var("X")], "p1")
+
+    def test_peer_must_be_constant(self):
+        with pytest.raises(ParseError):
+            parse_atom("r@P(X)")
+
+    def test_empty_args(self):
+        assert parse_atom("r()") == Atom("r", [])
+
+
+class TestRules:
+    def test_fact(self):
+        rule = parse_rule('edge("a", "b").')
+        assert rule.is_fact()
+        assert rule.head == Atom("edge", [Const("a"), Const("b")])
+
+    def test_rule_with_body(self):
+        rule = parse_rule("path(X, Y) :- edge(X, Z), path(Z, Y).")
+        assert len(rule.body) == 2
+        assert rule.head.relation == "path"
+
+    def test_rule_with_inequality(self):
+        rule = parse_rule("r(X) :- s(X, Y), X != Y.")
+        assert rule.inequalities == (Inequality(Var("X"), Var("Y")),)
+
+    def test_rule_with_negation(self):
+        rule = parse_rule("r(X) :- s(X), not t(X).")
+        assert rule.negated == (Atom("t", [Var("X")]),)
+
+    def test_located_rule(self):
+        rule = parse_rule("r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).")
+        assert rule.head.peer == "r"
+        assert [a.peer for a in rule.body] == ["s", "t"]
+
+    def test_function_term_in_head(self):
+        rule = parse_rule("places@p(g(X, c2), X) :- map@p(X, c1), trans@p(X, Y, Z).")
+        assert rule.head.args[0] == Func("g", [Var("X"), Const("c2")])
+
+    def test_missing_period(self):
+        with pytest.raises(ParseError):
+            parse_rule("r(X) :- s(X)")
+
+    def test_inequality_with_constants(self):
+        rule = parse_rule('r(X) :- s(X), X != "a".')
+        assert rule.inequalities[0].right == Const("a")
+
+
+class TestPrograms:
+    def test_program_with_comments(self):
+        text = """
+        % transitive closure
+        path(X, Y) :- edge(X, Y).   # base
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+        edge("a", "b").
+        """
+        program = parse_program(text)
+        assert len(program) == 3
+        assert ("edge", None) in program.edb_relations()
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+        assert len(parse_program("% only a comment\n")) == 0
+
+    def test_round_trip(self):
+        text = 'r@p(f(X), Y) :- s@q(X, Y), X != Y.'
+        rule = parse_rule(text + "")
+        assert parse_rule(str(rule)) == rule
+
+    def test_unterminated_string(self):
+        with pytest.raises(ParseError):
+            parse_program('r("abc).')
+
+    def test_unexpected_character(self):
+        with pytest.raises(ParseError):
+            parse_program("r(X) :- s(X) & t(X).")
+
+    def test_error_carries_location(self):
+        try:
+            parse_program('r(X :- s(X).')
+        except ParseError as err:
+            assert err.line == 1
+        else:
+            pytest.fail("expected ParseError")

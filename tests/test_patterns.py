@@ -1,0 +1,83 @@
+"""Tests for alarm-pattern parsing and automata."""
+
+import pytest
+
+from repro.diagnosis.patterns import AlarmPattern
+from repro.errors import DiagnosisError
+
+
+class TestParse:
+    def test_paper_example(self):
+        # The paper's alpha.beta*.alpha, instantiated with a and b.
+        pattern = AlarmPattern.parse("a.b*.a")
+        assert pattern.matches(["a", "a"])
+        assert pattern.matches(["a", "b", "b", "a"])
+        assert not pattern.matches(["a", "b"])
+
+    def test_alternation(self):
+        pattern = AlarmPattern.parse("a|b.c")
+        assert pattern.matches(["a"])
+        assert pattern.matches(["b", "c"])
+        assert not pattern.matches(["b"])
+
+    def test_grouping(self):
+        pattern = AlarmPattern.parse("(a|b).c")
+        assert pattern.matches(["a", "c"])
+        assert pattern.matches(["b", "c"])
+        assert not pattern.matches(["a"])
+
+    def test_plus(self):
+        pattern = AlarmPattern.parse("a+")
+        assert pattern.matches(["a"])
+        assert pattern.matches(["a", "a", "a"])
+        assert not pattern.matches([])
+
+    def test_star_on_group(self):
+        pattern = AlarmPattern.parse("(a.b)*")
+        assert pattern.matches([])
+        assert pattern.matches(["a", "b", "a", "b"])
+        assert not pattern.matches(["a"])
+
+    def test_multicharacter_symbols(self):
+        pattern = AlarmPattern.parse("link-down.retry*")
+        assert pattern.matches(["link-down"])
+        assert pattern.matches(["link-down", "retry", "retry"])
+
+    def test_juxtaposition_concatenates(self):
+        # "ab" is one symbol; "a.b" is two.
+        assert AlarmPattern.parse("ab").matches(["ab"])
+        assert not AlarmPattern.parse("ab").matches(["a", "b"])
+
+    def test_errors(self):
+        with pytest.raises(DiagnosisError):
+            AlarmPattern.parse("(a")
+        with pytest.raises(DiagnosisError):
+            AlarmPattern.parse("a)")
+        with pytest.raises(DiagnosisError):
+            AlarmPattern.parse("*")
+
+    def test_parse_equals_combinators(self):
+        parsed = AlarmPattern.parse("a.(b|c)*.a")
+        built = (AlarmPattern.symbol("a")
+                 .then(AlarmPattern.symbol("b").alt(AlarmPattern.symbol("c")).star())
+                 .then(AlarmPattern.symbol("a")))
+        for word in ([], ["a"], ["a", "a"], ["a", "b", "a"], ["a", "c", "b", "a"],
+                     ["b"], ["a", "b"], ["a", "b", "c"]):
+            assert parsed.matches(word) == built.matches(word), word
+
+
+class TestDfa:
+    def test_dfa_deterministic(self):
+        dfa = AlarmPattern.parse("a.b*.a").to_dfa()
+        # No duplicate (state, symbol) keys by construction of dict; the
+        # automaton must at least distinguish 3 states.
+        assert dfa.states >= 3
+
+    def test_observer_round_trip(self):
+        observer = AlarmPattern.parse("x.y").to_observer("peer")
+        observer.validate()
+        delta = {(e.source, e.alarm): e.target for e in observer.edges}
+        state = observer.initial
+        for symbol in ("x", "y"):
+            state = delta[(state, symbol)]
+        assert state in observer.accepting

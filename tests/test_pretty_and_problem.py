@@ -1,0 +1,58 @@
+"""Tests for the pretty-printers and the problem-type helpers."""
+
+import pytest
+
+from repro.datalog import parse_program
+from repro.datalog.pretty import (program_by_peer, program_by_relation,
+                                  summarize_program)
+from repro.diagnosis import AlarmSequence
+from repro.diagnosis.problem import DiagnosisProblem, diagnosis_set
+from repro.petri.examples import figure1_net
+
+PROGRAM = """
+r@r(X, Y) :- s@s(X, Y).
+s@s(X, Y) :- base@s(X, Y).
+base@s("1", "2").
+"""
+
+
+class TestPretty:
+    def test_program_by_peer(self):
+        text = program_by_peer(parse_program(PROGRAM))
+        assert "--- peer r ---" in text
+        assert "--- peer s ---" in text
+        assert text.index("peer r") < text.index("peer s")
+
+    def test_program_by_peer_local(self):
+        text = program_by_peer(parse_program("p(X) :- q(X)."))
+        assert "(local)" in text
+
+    def test_program_by_relation(self):
+        text = program_by_relation(parse_program(PROGRAM))
+        assert "--- r ---" in text and "--- base ---" in text
+
+    def test_summarize(self):
+        summary = summarize_program(parse_program(PROGRAM))
+        assert "2 rules" in summary
+        assert "1 facts" in summary
+        assert "peers=r,s" in summary
+
+    def test_summarize_local(self):
+        summary = summarize_program(parse_program("p(X) :- q(X)."))
+        assert "peers" not in summary
+
+
+class TestProblemHelpers:
+    def test_diagnosis_set_normalizes(self):
+        out = diagnosis_set([["e1", "e2"], ("e2", "e1"), ["e3"]])
+        assert out == frozenset({frozenset({"e1", "e2"}), frozenset({"e3"})})
+
+    def test_problem_peers(self):
+        problem = DiagnosisProblem(figure1_net(),
+                                   AlarmSequence([("b", "p1")]))
+        assert problem.peers() == ("p1", "p2")
+
+    def test_problem_is_frozen(self):
+        problem = DiagnosisProblem(figure1_net(), AlarmSequence([]))
+        with pytest.raises(AttributeError):
+            problem.alarms = AlarmSequence([("a", "p1")])  # type: ignore

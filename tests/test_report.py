@@ -1,0 +1,77 @@
+"""Tests for the human-readable diagnosis reports."""
+
+import pytest
+
+from repro.diagnosis import AlarmSequence, DatalogDiagnosisEngine
+from repro.diagnosis.report import (decode_event, diagnosis_to_dot,
+                                    render_diagnosis_report)
+from repro.errors import DiagnosisError
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+
+
+@pytest.fixture(scope="module")
+def figure1_diagnosis():
+    petri = figure1_net()
+    alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+    result = DatalogDiagnosisEngine(petri, mode="qsq").diagnose(alarms)
+    return petri, result.diagnoses
+
+
+class TestDecodeEvent:
+    def test_root_level_event(self, figure1_diagnosis):
+        petri, _d = figure1_diagnosis
+        decoded = decode_event("f(v,g(r,5))", petri)
+        assert decoded.transition == "v"
+        assert decoded.alarm == "a"
+        assert decoded.peer == "p2"
+        assert decoded.depth == 1
+
+    def test_nested_event(self, figure1_diagnosis):
+        petri, _d = figure1_diagnosis
+        decoded = decode_event("f(iii,g(f(i,g(r,1),g(r,7)),2))", petri)
+        assert decoded.transition == "iii"
+        assert decoded.depth == 2
+        assert decoded.parents == ("g(f(i,g(r,1),g(r,7)),2)",)
+
+    def test_bad_ids_rejected(self, figure1_diagnosis):
+        petri, _d = figure1_diagnosis
+        with pytest.raises(DiagnosisError):
+            decode_event("g(r,1)", petri)
+        with pytest.raises(DiagnosisError):
+            decode_event("f(zz,g(r,1))", petri)
+
+
+class TestTextReport:
+    def test_report_structure(self, figure1_diagnosis):
+        petri, diagnoses = figure1_diagnosis
+        text = render_diagnosis_report(diagnoses, petri)
+        assert "Candidate 1 (3 events):" in text
+        assert "transition" in text
+        # Ordered by depth: i (depth 1) before iii (depth 2).
+        assert text.index(" i ") < text.index("iii")
+
+    def test_empty_diagnosis(self, figure1_diagnosis):
+        petri, _d = figure1_diagnosis
+        text = render_diagnosis_report(frozenset(), petri)
+        assert "No explanation" in text
+
+    def test_empty_configuration(self, figure1_diagnosis):
+        petri, _d = figure1_diagnosis
+        text = render_diagnosis_report(frozenset({frozenset()}), petri)
+        assert "empty explanation" in text
+
+
+class TestDot:
+    def test_dot_contains_events_and_edges(self, figure1_diagnosis):
+        petri, diagnoses = figure1_diagnosis
+        dot = diagnosis_to_dot(diagnoses, petri)
+        assert dot.startswith("digraph")
+        assert '"f(i,g(r,1),g(r,7))"' in dot
+        # The causal edge i -> iii.
+        assert '"f(i,g(r,1),g(r,7))" -> "f(iii,g(f(i,g(r,1),g(r,7)),2))"' in dot
+
+    def test_shared_events_shaded(self, figure1_diagnosis):
+        petri, diagnoses = figure1_diagnosis
+        dot = diagnosis_to_dot(diagnoses, petri)
+        # All events belong to the single candidate -> all shaded.
+        assert dot.count("lightgrey") == 3

@@ -1,0 +1,93 @@
+"""Unit tests for dDatalog terms."""
+
+import pytest
+
+from repro.datalog.term import (Const, Func, Var, constants_of, is_ground,
+                                substitute, term_depth, variables_of)
+
+
+class TestConst:
+    def test_equality_by_value(self):
+        assert Const("a") == Const("a")
+        assert Const("a") != Const("b")
+        assert Const(1) != Const("1")
+
+    def test_hashable_and_usable_in_sets(self):
+        assert len({Const("a"), Const("a"), Const("b")}) == 2
+
+    def test_str_quotes_strings(self):
+        assert str(Const("a")) == '"a"'
+        assert str(Const(3)) == "3"
+
+    def test_not_equal_to_var_with_same_payload(self):
+        assert Const("x") != Var("x")
+
+
+class TestVar:
+    def test_equality_by_name(self):
+        assert Var("X") == Var("X")
+        assert Var("X") != Var("Y")
+
+    def test_repr_round_trips_name(self):
+        assert "X" in repr(Var("X"))
+
+
+class TestFunc:
+    def test_equality_structural(self):
+        t1 = Func("f", [Const("a"), Var("X")])
+        t2 = Func("f", [Const("a"), Var("X")])
+        t3 = Func("f", [Var("X"), Const("a")])
+        assert t1 == t2
+        assert t1 != t3
+        assert hash(t1) == hash(t2)
+
+    def test_args_are_tuple(self):
+        t = Func("f", iter([Const("a")]))
+        assert isinstance(t.args, tuple)
+
+    def test_str_nested(self):
+        t = Func("f", [Func("g", [Const("c")]), Var("X")])
+        assert str(t) == 'f(g("c"),X)'
+
+    def test_different_name_not_equal(self):
+        assert Func("f", [Const("a")]) != Func("g", [Const("a")])
+
+
+class TestPredicates:
+    def test_is_ground(self):
+        assert is_ground(Const("a"))
+        assert not is_ground(Var("X"))
+        assert is_ground(Func("f", [Const("a"), Func("g", [])]))
+        assert not is_ground(Func("f", [Const("a"), Var("X")]))
+
+    def test_term_depth(self):
+        assert term_depth(Const("a")) == 0
+        assert term_depth(Var("X")) == 0
+        assert term_depth(Func("f", [])) == 1
+        assert term_depth(Func("f", [Const("a")])) == 1
+        assert term_depth(Func("f", [Func("g", [Const("a")])])) == 2
+
+    def test_variables_of_order_and_repeats(self):
+        t = Func("f", [Var("X"), Func("g", [Var("Y"), Var("X")])])
+        assert list(variables_of(t)) == [Var("X"), Var("Y"), Var("X")]
+
+    def test_constants_of(self):
+        t = Func("f", [Const("a"), Func("g", [Const("b")]), Var("X")])
+        assert list(constants_of(t)) == [Const("a"), Const("b")]
+
+
+class TestSubstitute:
+    def test_substitute_var(self):
+        assert substitute(Var("X"), {Var("X"): Const("a")}) == Const("a")
+
+    def test_substitute_missing_var_is_identity(self):
+        assert substitute(Var("X"), {}) == Var("X")
+
+    def test_substitute_inside_func(self):
+        t = Func("f", [Var("X"), Const("c")])
+        out = substitute(t, {Var("X"): Func("g", [Const("a")])})
+        assert out == Func("f", [Func("g", [Const("a")]), Const("c")])
+
+    def test_substitute_const_is_identity(self):
+        c = Const("a")
+        assert substitute(c, {Var("X"): Const("b")}) is c

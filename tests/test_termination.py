@@ -1,0 +1,136 @@
+"""Tests for Dijkstra-Scholten termination detection.
+
+Soundness is the critical property: when the detector declares
+termination, no basic message may be in flight anywhere.  We check it by
+monitoring every delivery of the dQSQ engine under many schedules.
+"""
+
+import pytest
+
+from repro.datalog import Query, parse_atom, parse_program
+from repro.datalog.naive import load_facts
+from repro.distributed import (DDatalogProgram, DijkstraScholten, DqsqEngine,
+                               NetworkOptions)
+from repro.distributed.network import Message, Network
+from repro.distributed.termination import ACK_KIND
+
+RULES = """
+r@r(X, Y) :- a@r(X, Y).
+r@r(X, Y) :- s@s(X, Z), t@t(Z, Y).
+s@s(X, Y) :- r@r(X, Y), b@s(Y, Z).
+t@t(X, Y) :- c@t(X, Y).
+"""
+
+FACTS = """
+a@r("1", "2").
+a@r("2", "3").
+b@s("2", "x").
+b@s("3", "x").
+c@t("2", "4").
+c@t("3", "5").
+c@t("4", "6").
+"""
+
+
+class TestWithDqsq:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_detects_termination_under_many_schedules(self, seed):
+        dd = DDatalogProgram(parse_program(RULES))
+        edb = load_facts(parse_program(FACTS))
+        engine = DqsqEngine(dd, edb, options=NetworkOptions(seed=seed),
+                            use_termination_detector=True)
+        result = engine.query(Query(parse_atom('r@r("1", Y)')))
+        assert result.terminated_by_detector is True
+        assert {f[1].value for f in result.answers} == {"2", "4"}
+
+    def test_trivial_local_query_terminates(self):
+        dd = DDatalogProgram(parse_program('p@a(X) :- base@a(X).\nbase@a("1").'))
+        engine = DqsqEngine(dd, use_termination_detector=True)
+        result = engine.query(Query(parse_atom("p@a(X)")))
+        assert result.terminated_by_detector is True
+        assert len(result.answers) == 1
+
+    def test_acks_flow(self):
+        dd = DDatalogProgram(parse_program(RULES))
+        edb = load_facts(parse_program(FACTS))
+        engine = DqsqEngine(dd, edb, use_termination_detector=True)
+        result = engine.query(Query(parse_atom('r@r("1", Y)')))
+        assert result.counters[f"messages_sent[{ACK_KIND}]"] >= 1
+
+
+class _Relay:
+    """A peer doing a fixed amount of relayed work, instrumented for DS."""
+
+    def __init__(self, name: str, detector: DijkstraScholten, plan: dict):
+        self.name = name
+        self.detector = detector
+        self.plan = plan  # recipient -> count of messages to send on first receipt
+        self.fired = False
+
+    def on_message(self, message: Message, network: Network) -> None:
+        if message.kind == ACK_KIND:
+            self.detector.on_ack(message, network)
+            return
+        self.detector.on_basic_receive(message)
+        if not self.fired:
+            self.fired = True
+            for recipient, count in self.plan.items():
+                for _ in range(count):
+                    self.detector.on_basic_send(self.name)
+                    network.send(self.name, recipient, "work", None)
+        self.detector.peer_passive(self.name, network)
+
+
+class TestProtocolDirectly:
+    def build(self, seed: int):
+        detector = DijkstraScholten("root")
+        network = Network(NetworkOptions(seed=seed))
+        peers = {
+            "root": _Relay("root", detector, {"a": 2, "b": 1}),
+            "a": _Relay("a", detector, {"b": 1, "c": 1}),
+            "b": _Relay("b", detector, {"c": 2}),
+            "c": _Relay("c", detector, {}),
+        }
+        for name, peer in peers.items():
+            network.register(name, peer)
+        return detector, network, peers
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_sound_and_live(self, seed):
+        detector, network, peers = self.build(seed)
+        basic_in_flight = [0]
+        pending_basic = set()
+
+        def monitor(message: Message) -> None:
+            if message.kind != ACK_KIND:
+                pending_basic.discard(message.seq)
+            if detector.terminated:
+                assert not pending_basic, "termination declared with messages in flight"
+
+        network.add_monitor(monitor)
+        detector.root_activated()
+        root = peers["root"]
+        root.fired = True
+        for recipient, count in root.plan.items():
+            for _ in range(count):
+                detector.on_basic_send("root")
+                network.send("root", recipient, "work", None)
+        detector.peer_passive("root", network)
+        # Track in-flight basic messages.
+        while True:
+            nonempty = network.pending()
+            if not nonempty:
+                break
+            network.step()
+        assert detector.terminated, "detector failed to detect termination (liveness)"
+
+    def test_no_false_positive_before_work_done(self):
+        detector, network, peers = self.build(seed=0)
+        detector.root_activated()
+        detector.on_basic_send("root")
+        network.send("root", "a", "work", None)
+        detector.peer_passive("root", network)
+        # Work is still in flight: not terminated yet.
+        assert not detector.terminated
+        network.run_until_quiescent()
+        assert detector.terminated

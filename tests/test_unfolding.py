@@ -1,0 +1,170 @@
+"""Tests for branching processes, relations and the unfolder."""
+
+import pytest
+
+from repro.errors import PetriNetError
+from repro.petri import (BranchingProcess, Configuration, NodeRelations,
+                         Unfolder, UnfoldingLimits, unfold,
+                         verify_branching_process)
+from repro.petri.examples import cyclic_net, figure1_net, two_peer_chain_net
+from repro.petri.generators import random_safe_net
+
+
+class TestUnfoldFigure1:
+    def setup_method(self):
+        self.petri = figure1_net()
+        self.bp = unfold(self.petri)
+
+    def test_is_valid_branching_process(self):
+        assert verify_branching_process(self.bp) == []
+
+    def test_roots_are_marked_places(self):
+        assert sorted(self.bp.conditions[c].place for c in self.bp.roots) == ["1", "5", "7"]
+
+    def test_event_count(self):
+        # Events: i, ii, v are initially enabled; iii after i; iv after
+        # i and v.  Figure 1's net is acyclic, so the unfolding is the
+        # net's full behaviour: exactly five events.
+        assert len(self.bp.events) == 5
+        transitions = sorted(e.transition for e in self.bp.events.values())
+        assert transitions == ["i", "ii", "iii", "iv", "v"]
+
+    def test_canonical_ids_are_skolem_terms(self):
+        (i_event,) = [e for e in self.bp.events.values() if e.transition == "i"]
+        assert i_event.eid.startswith("f(i,")
+        assert all(cid.startswith("g(") for cid in i_event.preset)
+
+    def test_depths(self):
+        by_transition = {e.transition: e.depth for e in self.bp.events.values()}
+        assert by_transition["i"] == 1
+        assert by_transition["iii"] == 2
+        assert by_transition["iv"] == 2  # needs place 3 (depth 1) and 6 (depth 1)
+
+
+class TestRelations:
+    def setup_method(self):
+        self.bp = unfold(figure1_net())
+        self.rel = NodeRelations(self.bp)
+        self.by_transition = {e.transition: e.eid for e in self.bp.events.values()}
+
+    def test_causality(self):
+        assert self.rel.causal_leq(self.by_transition["i"], self.by_transition["iii"])
+        assert not self.rel.causal_leq(self.by_transition["iii"], self.by_transition["i"])
+
+    def test_conflict(self):
+        # i and ii compete for place 1.
+        assert self.rel.in_conflict(self.by_transition["i"], self.by_transition["ii"])
+        # Conflict is inherited: iii (after i) conflicts with ii.
+        assert self.rel.in_conflict(self.by_transition["iii"], self.by_transition["ii"])
+
+    def test_concurrency(self):
+        assert self.rel.concurrent(self.by_transition["i"], self.by_transition["v"])
+        assert self.rel.concurrent(self.by_transition["iii"], self.by_transition["v"])
+
+    def test_trichotomy(self):
+        # Every pair of distinct events is exactly one of: causally
+        # ordered, in conflict, or concurrent.
+        events = list(self.bp.events)
+        for u in events:
+            for v in events:
+                if u == v:
+                    continue
+                flags = [self.rel.causal_leq(u, v) or self.rel.causal_leq(v, u),
+                         self.rel.in_conflict(u, v),
+                         self.rel.concurrent(u, v)]
+                assert sum(flags) == 1, (u, v, flags)
+
+    def test_reflexive_causality(self):
+        eid = self.by_transition["i"]
+        assert self.rel.causal_leq(eid, eid)
+        assert not self.rel.in_conflict(eid, eid)
+        assert not self.rel.concurrent(eid, eid)
+
+
+class TestConfiguration:
+    def setup_method(self):
+        self.bp = unfold(figure1_net())
+        self.by_transition = {e.transition: e.eid for e in self.bp.events.values()}
+
+    def config(self, *transitions):
+        return Configuration(self.bp, [self.by_transition[t] for t in transitions])
+
+    def test_valid_configuration(self):
+        config = self.config("i", "iii", "v")
+        assert config.is_valid()
+
+    def test_not_downward_closed(self):
+        config = self.config("iii")
+        assert not config.is_downward_closed()
+        assert not config.is_valid()
+
+    def test_conflicting_configuration(self):
+        config = self.config("i", "ii")
+        assert not config.is_conflict_free()
+
+    def test_cut_and_marking(self):
+        config = self.config("i", "iii", "v")
+        assert config.marking() == {"3", "4", "6"}
+
+    def test_linearize_respects_causality(self):
+        config = self.config("i", "iii", "iv", "v")
+        order = config.linearize()
+        assert order.index(self.by_transition["i"]) < order.index(self.by_transition["iii"])
+        assert order.index(self.by_transition["v"]) < order.index(self.by_transition["iv"])
+
+    def test_alarms_by_peer(self):
+        config = self.config("i", "iii", "v")
+        alarms = config.alarms_by_peer()
+        assert alarms == {"p1": ["b", "c"], "p2": ["a"]}
+
+    def test_equality_by_event_set(self):
+        assert self.config("i", "v") == self.config("v", "i")
+        assert self.config("i") != self.config("v")
+
+
+class TestUnfolderBounds:
+    def test_cyclic_net_depth_bound(self):
+        bp = unfold(cyclic_net(), max_depth=6)
+        assert verify_branching_process(bp) == []
+        assert bp.max_depth() == 6
+        assert len(bp.events) == 6  # a single chain go/back/go/...
+
+    def test_cyclic_net_event_budget(self):
+        with pytest.raises(PetriNetError):
+            unfold(cyclic_net(), max_events=10)
+
+    def test_cutoffs_give_finite_prefix(self):
+        bp = unfold(cyclic_net(), use_cutoffs=True)
+        # Complete prefix of a two-state loop: go, then back (cut-off).
+        assert len(bp.events) == 2
+
+    def test_two_peer_chain(self):
+        bp = unfold(two_peer_chain_net())
+        assert len(bp.events) == 2
+        assert verify_branching_process(bp) == []
+
+
+class TestUnfolderOnRandomNets:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_axioms_hold(self, seed):
+        petri = random_safe_net(seed)
+        bp = unfold(petri, max_depth=4, max_events=3000)
+        assert verify_branching_process(bp) == []
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_every_configuration_is_a_run(self, seed):
+        # Firing any configuration's linearization from the initial
+        # marking must succeed and end in the configuration's marking.
+        from repro.petri.marking import run_sequence
+        petri = random_safe_net(seed)
+        bp = unfold(petri, max_depth=3, max_events=2000)
+        rel = NodeRelations(bp)
+        # Use local configurations of events as samples.
+        for event in list(bp.events.values())[:20]:
+            local = [e for e in bp.events
+                     if rel.causal_leq(e, event.eid)]
+            config = Configuration(bp, local)
+            assert config.is_valid()
+            order = config.linearize()
+            final = run_sequence(petri, [bp.events[e].transition for e in order])
+            assert final == config.marking()

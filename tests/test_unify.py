@@ -1,0 +1,98 @@
+"""Unit tests for matching and unification."""
+
+from repro.datalog.term import Const, Func, Var
+from repro.datalog.unify import match, match_tuple, resolve, unify
+
+
+def f(*args):
+    return Func("f", args)
+
+
+class TestMatch:
+    def test_var_binds(self):
+        binding = {}
+        assert match(Var("X"), Const("a"), binding)
+        assert binding[Var("X")] == Const("a")
+
+    def test_var_consistency(self):
+        binding = {}
+        assert match(Var("X"), Const("a"), binding)
+        assert not match(Var("X"), Const("b"), binding)
+
+    def test_const_vs_const(self):
+        assert match(Const("a"), Const("a"), {})
+        assert not match(Const("a"), Const("b"), {})
+
+    def test_func_pattern(self):
+        binding = {}
+        pattern = f(Var("X"), Const("c"))
+        ground = f(Const("a"), Const("c"))
+        assert match(pattern, ground, binding)
+        assert binding[Var("X")] == Const("a")
+
+    def test_func_arity_mismatch(self):
+        assert not match(f(Var("X")), f(Const("a"), Const("b")), {})
+
+    def test_func_name_mismatch(self):
+        assert not match(f(Var("X")), Func("g", [Const("a")]), {})
+
+    def test_const_does_not_match_func(self):
+        assert not match(Const("a"), f(Const("a")), {})
+
+    def test_repeated_var_in_pattern(self):
+        assert match(f(Var("X"), Var("X")), f(Const("a"), Const("a")), {})
+        assert not match(f(Var("X"), Var("X")), f(Const("a"), Const("b")), {})
+
+    def test_match_tuple(self):
+        binding = {}
+        assert match_tuple((Var("X"), Var("Y")), (Const("a"), Const("b")), binding)
+        assert binding == {Var("X"): Const("a"), Var("Y"): Const("b")}
+
+    def test_match_tuple_length_mismatch(self):
+        assert not match_tuple((Var("X"),), (Const("a"), Const("b")), {})
+
+
+class TestUnify:
+    def test_symmetric_vars(self):
+        out = unify(Var("X"), Var("Y"))
+        assert out is not None
+        assert resolve(Var("X"), out) == resolve(Var("Y"), out)
+
+    def test_unify_builds_mgu(self):
+        left = f(Var("X"), Const("b"))
+        right = f(Const("a"), Var("Y"))
+        out = unify(left, right)
+        assert out is not None
+        assert resolve(left, out) == resolve(right, out) == f(Const("a"), Const("b"))
+
+    def test_unify_failure(self):
+        assert unify(f(Const("a")), f(Const("b"))) is None
+
+    def test_occurs_check(self):
+        assert unify(Var("X"), f(Var("X"))) is None
+
+    def test_chained_bindings_resolve(self):
+        out = unify(Var("X"), Var("Y"))
+        out = unify(Var("Y"), Const("c"), out)
+        assert out is not None
+        assert resolve(Var("X"), out) == Const("c")
+
+    def test_unify_extends_binding(self):
+        start = unify(Var("X"), Const("a"))
+        assert unify(Var("X"), Const("b"), start) is None
+        extended = unify(Var("Y"), Const("b"), start)
+        assert extended is not None
+        assert extended[Var("X")] == Const("a")
+
+    def test_idempotent_bindings(self):
+        # After binding, values must not contain bound variables.
+        out = unify(f(Var("X"), Var("X")), f(Var("Y"), Const("c")))
+        assert out is not None
+        for value in out.values():
+            assert resolve(value, out) == value
+
+    def test_deep_nesting(self):
+        deep_left = f(f(f(Var("X"))))
+        deep_right = f(f(f(Const("a"))))
+        out = unify(deep_left, deep_right)
+        assert out == {Var("X"): Const("a")}

@@ -1,0 +1,113 @@
+"""Unit tests for the utils package."""
+
+import pytest
+
+from repro.utils.counters import Counters
+from repro.utils.ids import IdGenerator
+from repro.utils.orders import (strongly_connected_components,
+                                topological_sort, transitive_closure)
+from repro.utils.tables import render_markdown_table, render_table
+
+
+class TestCounters:
+    def test_add_and_get(self):
+        counters = Counters()
+        counters.add("x", 3)
+        counters.add("x")
+        assert counters["x"] == 4
+        assert counters["missing"] == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counters().add("x", -1)
+
+    def test_set_max(self):
+        counters = Counters()
+        counters.set_max("depth", 3)
+        counters.set_max("depth", 2)
+        assert counters["depth"] == 3
+
+    def test_merge_with_prefix(self):
+        left, right = Counters(), Counters()
+        right.add("x", 2)
+        left.merge(right, prefix="peer.")
+        assert left["peer.x"] == 2
+
+    def test_iteration_sorted(self):
+        counters = Counters()
+        counters.add("b")
+        counters.add("a")
+        assert list(counters) == ["a", "b"]
+
+    def test_as_dict(self):
+        counters = Counters()
+        counters.add("x", 5)
+        assert counters.as_dict() == {"x": 5}
+
+
+class TestIdGenerator:
+    def test_fresh_distinct(self):
+        gen = IdGenerator()
+        assert gen.fresh("x") != gen.fresh("x")
+
+    def test_prefix_streams_independent(self):
+        gen = IdGenerator()
+        assert gen.fresh("a") == "a0"
+        assert gen.fresh("b") == "b0"
+
+    def test_reserve(self):
+        gen = IdGenerator()
+        assert gen.reserve("n", 3) == ["n0", "n1", "n2"]
+
+
+class TestTables:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a")
+        assert len({len(line) for line in lines[1:]}) <= 2
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1, 2]])
+
+    def test_markdown_table(self):
+        text = render_markdown_table(["a"], [[1.23456]])
+        assert text.startswith("| a |")
+        assert "1.23" in text
+
+    def test_title(self):
+        text = render_table(["a"], [[1]], title="T")
+        assert text.splitlines()[0] == "T"
+
+
+class TestOrders:
+    def test_topological_sort(self):
+        order = topological_sort(["a", "b", "c"], {"a": ["b"], "b": ["c"]})
+        assert order == ["a", "b", "c"]
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            topological_sort(["a", "b"], {"a": ["b"], "b": ["a"]})
+
+    def test_transitive_closure_dag(self):
+        closure = transitive_closure(["a", "b", "c"], {"a": ["b"], "b": ["c"]})
+        assert closure["a"] == {"b", "c"}
+        assert closure["c"] == set()
+
+    def test_transitive_closure_cyclic(self):
+        closure = transitive_closure(["a", "b"], {"a": ["b"], "b": ["a"]})
+        assert closure["a"] == {"a", "b"}
+
+    def test_scc(self):
+        components = strongly_connected_components(
+            ["a", "b", "c"], {"a": ["b"], "b": ["a"], "c": ["a"]})
+        as_sets = [frozenset(c) for c in components]
+        assert frozenset({"a", "b"}) in as_sets
+        assert frozenset({"c"}) in as_sets
+        # Reverse topological order: dependency component first.
+        assert as_sets.index(frozenset({"a", "b"})) < as_sets.index(frozenset({"c"}))
+
+    def test_scc_ignores_unknown_successors(self):
+        components = strongly_connected_components(["a"], {"a": ["zz"]})
+        assert [set(c) for c in components] == [{"a"}]

@@ -1,0 +1,85 @@
+"""Tests for workload generation and named scenarios."""
+
+import pytest
+
+from repro.diagnosis import AlarmSequence, bruteforce_diagnosis
+from repro.petri.examples import figure1_net
+from repro.petri.generators import random_safe_net
+from repro.workloads import SCENARIOS, get_scenario, interleave, simulate_alarms, simulate_run
+
+
+class TestSimulateRun:
+    def test_deterministic(self):
+        petri = figure1_net()
+        assert simulate_run(petri, 3, seed=5) == simulate_run(petri, 3, seed=5)
+
+    def test_stops_at_deadlock(self):
+        petri = figure1_net()
+        fired = simulate_run(petri, 100, seed=0)
+        assert len(fired) < 100
+
+    def test_run_is_fireable(self):
+        from repro.petri.marking import run_sequence
+        petri = figure1_net()
+        fired = simulate_run(petri, 4, seed=1)
+        run_sequence(petri, fired)  # must not raise
+
+
+class TestInterleave:
+    def test_preserves_per_peer_order(self):
+        streams = {"p": ["a", "b", "c"], "q": ["x", "y"]}
+        sequence = interleave(streams, seed=3)
+        assert sequence.project("p") == ("a", "b", "c")
+        assert sequence.project("q") == ("x", "y")
+        assert len(sequence) == 5
+
+    def test_different_seeds_differ(self):
+        streams = {"p": ["a"] * 5, "q": ["x"] * 5}
+        orders = {tuple(a.peer for a in interleave(streams, seed=s))
+                  for s in range(8)}
+        assert len(orders) > 1
+
+    def test_empty(self):
+        assert len(interleave({}, seed=0)) == 0
+
+
+class TestSimulateAlarms:
+    def test_alarm_count_matches_run(self):
+        petri = figure1_net()
+        fired = simulate_run(petri, 3, seed=2)
+        alarms = simulate_alarms(petri, 3, seed=2)
+        assert len(alarms) == len(fired)
+
+    def test_hidden_transitions_not_reported(self):
+        petri = figure1_net()
+        full = simulate_alarms(petri, 3, seed=2)
+        partial = simulate_alarms(petri, 3, seed=2, hidden=frozenset({"v"}))
+        assert len(partial) <= len(full)
+
+    def test_generated_alarms_are_diagnosable(self):
+        for seed in range(4):
+            petri = random_safe_net(seed)
+            alarms = simulate_alarms(petri, steps=3, seed=seed)
+            assert len(bruteforce_diagnosis(petri, alarms).diagnoses) >= 1
+
+
+class TestScenarios:
+    def test_registry_names(self):
+        assert "figure1-bac" in SCENARIOS
+        assert len(SCENARIOS) >= 6
+
+    def test_unknown_scenario(self):
+        with pytest.raises(KeyError):
+            get_scenario("nope")
+
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenarios_instantiate(self, name):
+        petri, alarms = get_scenario(name).instantiate()
+        assert isinstance(alarms, AlarmSequence)
+        assert petri.net.transitions
+
+    def test_scenarios_deterministic(self):
+        petri_a, alarms_a = get_scenario("telecom-small").instantiate()
+        petri_b, alarms_b = get_scenario("telecom-small").instantiate()
+        assert alarms_a == alarms_b
+        assert petri_a.net.edges == petri_b.net.edges
