@@ -1,0 +1,99 @@
+"""E9: fault-tolerant transport -- diagnosis invariance and retry cost.
+
+Sweeps drop rates (and retry budgets) over the bundled scenarios and
+asserts the acceptance property of the reliable-delivery layer: as long
+as the retry budget suffices, the dQSQ diagnosis set over a lossy,
+delaying network is identical to the zero-loss run.  Also measures what
+reliability costs (retransmissions, acks, latency) and where the budget
+breaks (drop=1.0 degrades to a partial result, never a crash).
+"""
+
+import pytest
+
+from repro.api import diagnose
+from repro.distributed.network import FaultPlan, NetworkOptions
+from repro.workloads.scenarios import SCENARIOS
+
+DROP_RATES = (0.1, 0.2, 0.4)
+
+
+def _lossy_options(drop: float, seed: int = 0, **kwargs) -> NetworkOptions:
+    return NetworkOptions(
+        seed=seed,
+        fault=FaultPlan(drop_probability=drop, delay_distribution=(0, 3),
+                        **kwargs))
+
+
+@pytest.mark.parametrize("name", sorted(SCENARIOS))
+def test_diagnosis_invariant_at_twenty_percent_loss(benchmark, name):
+    """Acceptance: drop=0.2 + default retry budget == zero-loss diagnosis."""
+    petri, alarms = SCENARIOS[name].instantiate()
+    baseline = diagnose(petri, alarms, method="dqsq")
+    options = _lossy_options(0.2)
+
+    result = benchmark.pedantic(
+        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        rounds=2, iterations=1)
+
+    assert not result.partial
+    assert result.diagnoses == baseline.diagnoses
+    assert result.materialized_events == baseline.materialized_events
+    benchmark.extra_info["diagnoses"] = len(result.diagnoses)
+    benchmark.extra_info["net.dropped"] = result.counters["net.dropped"]
+    benchmark.extra_info["net.retransmits"] = result.counters["net.retransmits"]
+    benchmark.extra_info["net.acks"] = result.counters["net.acks"]
+    benchmark.extra_info["net.delivery_latency_max"] = (
+        result.counters["net.delivery_latency_max"])
+
+
+@pytest.mark.parametrize("drop", DROP_RATES)
+def test_retry_cost_scales_with_drop_rate(benchmark, drop):
+    """The reliability overhead (retransmits per drop) stays bounded."""
+    petri, alarms = SCENARIOS["telecom-medium"].instantiate()
+    baseline = diagnose(petri, alarms, method="dqsq")
+    options = _lossy_options(drop, seed=1)
+
+    result = benchmark.pedantic(
+        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        rounds=2, iterations=1)
+
+    assert result.diagnoses == baseline.diagnoses
+    dropped = result.counters["net.dropped"]
+    retransmits = result.counters["net.retransmits"]
+    assert dropped > 0
+    # Every drop forces one retransmission; spurious extras (timer fired
+    # while the ack was still queued) are deduplicated, and there should
+    # not be many of them.
+    assert retransmits >= dropped * 0.5
+    benchmark.extra_info["net.dropped"] = dropped
+    benchmark.extra_info["net.retransmits"] = retransmits
+
+
+@pytest.mark.parametrize("max_retries", [5, 25])
+def test_retry_budget_sweep(benchmark, max_retries):
+    """Both a tight and the default budget survive 20% loss."""
+    petri, alarms = SCENARIOS["figure1-bac"].instantiate()
+    baseline = diagnose(petri, alarms, method="dqsq")
+    options = _lossy_options(0.2, seed=2, max_retries=max_retries)
+
+    result = benchmark.pedantic(
+        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        rounds=2, iterations=1)
+
+    assert not result.partial
+    assert result.diagnoses == baseline.diagnoses
+
+
+def test_exhausted_budget_degrades_to_partial_result(benchmark):
+    """drop=1.0 can never deliver: the engine reports, it does not crash."""
+    petri, alarms = SCENARIOS["figure1-bac"].instantiate()
+    options = NetworkOptions(
+        seed=0, fault=FaultPlan(drop_probability=1.0, max_retries=3))
+
+    result = benchmark.pedantic(
+        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        rounds=1, iterations=1)
+
+    assert result.partial
+    assert result.transport_stats
+    assert result.counters["net.transport_exhausted"] == 1

@@ -10,7 +10,8 @@ kills every candidate.
 Run:  python examples/online_monitoring.py
 """
 
-from repro.diagnosis import AlarmSequence, bruteforce_diagnosis
+import repro
+from repro.diagnosis import AlarmSequence
 from repro.diagnosis.online import OnlineDiagnoser
 from repro.diagnosis.report import render_diagnosis_report
 from repro.petri.generators import TelecomSpec, telecom_net
@@ -31,7 +32,8 @@ def main() -> None:
               f"{online.candidate_count()} candidate(s), "
               f"{len(online.materialized_events())} unfolding events built")
         prefix = AlarmSequence(list(alarms)[:index])
-        assert online.diagnoses() == bruteforce_diagnosis(petri, prefix).diagnoses
+        reference = repro.diagnose(petri, prefix, method="bruteforce")
+        assert online.diagnoses() == reference.diagnoses
 
     print()
     print(render_diagnosis_report(online.diagnoses(), petri,

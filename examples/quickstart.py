@@ -9,10 +9,9 @@ dDatalog encoding evaluated with distributed QSQ.
 Run:  python examples/quickstart.py
 """
 
-from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
-                             DedicatedDiagnoser, bruteforce_diagnosis)
+import repro
+from repro.diagnosis import AlarmSequence
 from repro.petri.examples import figure1_alarm_scenarios, figure1_net
-from repro.petri.io import petri_to_dot
 
 
 def main() -> None:
@@ -28,9 +27,10 @@ def main() -> None:
         alarms = AlarmSequence(pairs)
         print(f"Alarm sequence {name}: {' '.join(str(a) for a in alarms)}")
 
-        brute = bruteforce_diagnosis(petri, alarms)
-        dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
-        datalog = DatalogDiagnosisEngine(petri, mode="dqsq").diagnose(alarms)
+        # One front door, three solvers (all satisfy DiagnosisOutcome).
+        brute = repro.diagnose(petri, alarms, method="bruteforce")
+        dedicated = repro.diagnose(petri, alarms, method="dedicated")
+        datalog = repro.diagnose(petri, alarms, method="dqsq")
 
         assert datalog.diagnoses == brute.diagnoses == dedicated.diagnoses
         if datalog.diagnoses:

@@ -9,8 +9,7 @@ with branching: several configurations may explain the same alarms.
 Run:  python examples/telecom_diagnosis.py
 """
 
-from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
-                             DedicatedDiagnoser)
+import repro
 from repro.petri.generators import TelecomSpec, telecom_net
 from repro.workloads.alarmgen import simulate_alarms, simulate_run
 
@@ -30,9 +29,8 @@ def main() -> None:
     print(f"Reliable per-peer projections: {alarms.by_peer()}")
     print()
 
-    engine = DatalogDiagnosisEngine(petri, mode="dqsq")
-    result = engine.diagnose(alarms)
-    dedicated = DedicatedDiagnoser(petri).diagnose(alarms)
+    result = repro.diagnose(petri, alarms, method="dqsq")
+    dedicated = repro.diagnose(petri, alarms, method="dedicated")
     assert result.diagnoses == dedicated.diagnoses
 
     print(f"Diagnosis set: {len(result.diagnoses)} candidate explanation(s)")
@@ -45,6 +43,20 @@ def main() -> None:
     for name in ("messages_sent", "tuples_shipped", "rules_installed",
                  "rewritings", "materialized_events"):
         print(f"  {name:22s} {result.counters[name]}")
+    print()
+
+    # The same diagnosis over a lossy network: the reliability layer
+    # retransmits until every message is delivered exactly once, so the
+    # diagnosis set is unchanged.
+    lossy = repro.NetworkOptions(
+        seed=7, fault=repro.FaultPlan(drop_probability=0.2,
+                                      delay_distribution=(0, 3)))
+    faulty = repro.diagnose(petri, alarms, method="dqsq", options=lossy)
+    assert faulty.diagnoses == result.diagnoses
+    print("With 20% frame loss and random delays (reliability layer on):")
+    for name in ("net.dropped", "net.retransmits", "net.acks",
+                 "net.delivery_latency_max"):
+        print(f"  {name:24s} {faulty.counters[name]}")
 
 
 if __name__ == "__main__":

@@ -13,21 +13,25 @@ see the subpackages for the full surface:
 * :mod:`repro.experiments` -- the EXPERIMENTS.md harness.
 """
 
+from repro.api import DiagnosisMethod, DiagnosisOutcome, diagnose
 from repro.datalog import (Program, Query, parse_atom, parse_program,
                            qsq_evaluate, qsq_rewrite)
 from repro.diagnosis import (Alarm, AlarmSequence, DatalogDiagnosisEngine,
-                             DedicatedDiagnoser, bruteforce_diagnosis)
-from repro.distributed import DDatalogProgram, DqsqEngine
+                             DedicatedDiagnoser, EvaluationMode,
+                             bruteforce_diagnosis)
+from repro.distributed import (DDatalogProgram, DqsqEngine, FaultPlan,
+                               NetworkOptions)
 from repro.petri import PetriNet, unfold
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "diagnose", "DiagnosisMethod", "DiagnosisOutcome",
     "Program", "Query", "parse_atom", "parse_program",
     "qsq_evaluate", "qsq_rewrite",
-    "Alarm", "AlarmSequence", "DatalogDiagnosisEngine",
+    "Alarm", "AlarmSequence", "DatalogDiagnosisEngine", "EvaluationMode",
     "DedicatedDiagnoser", "bruteforce_diagnosis",
-    "DDatalogProgram", "DqsqEngine",
+    "DDatalogProgram", "DqsqEngine", "FaultPlan", "NetworkOptions",
     "PetriNet", "unfold",
     "__version__",
 ]

@@ -1,0 +1,114 @@
+"""The one-call diagnosis API.
+
+Every solver path of the library -- the paper's dQSQ, centralized QSQ,
+the bottom-up strawman, the dedicated algorithm of [8] and the
+brute-force ground truth -- is reachable through a single front door::
+
+    import repro
+    result = repro.diagnose(petri, alarms, method="dqsq")
+    result.diagnoses                # the diagnosis set
+    result.counters                 # instrumentation
+    result.materialized_events      # unfolding events built on the way
+
+The concrete result types differ per solver (they carry solver-specific
+extras such as the product branching process or per-peer databases),
+but all satisfy the :class:`DiagnosisOutcome` protocol, so callers that
+only need diagnoses and instrumentation can treat them uniformly.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol, runtime_checkable
+
+from repro.datalog.seminaive import EvaluationBudget
+from repro.diagnosis.alarms import AlarmSequence
+from repro.diagnosis.bruteforce import bruteforce_diagnosis
+from repro.diagnosis.dedicated import DedicatedDiagnoser
+from repro.diagnosis.engine import DatalogDiagnosisEngine, EvaluationMode
+from repro.diagnosis.problem import DiagnosisSet
+from repro.diagnosis.supervisor import SUPERVISOR
+from repro.distributed.network import NetworkOptions
+from repro.errors import DiagnosisError
+from repro.petri.net import PetriNet
+from repro.utils.counters import Counters
+
+
+class DiagnosisMethod(str, enum.Enum):
+    """The five solver paths reachable through :func:`diagnose`."""
+
+    DQSQ = "dqsq"
+    QSQ = "qsq"
+    BOTTOMUP = "bottomup"
+    DEDICATED = "dedicated"
+    BRUTEFORCE = "bruteforce"
+
+    @classmethod
+    def coerce(cls, value: "DiagnosisMethod | str") -> "DiagnosisMethod":
+        try:
+            return cls(value)
+        except ValueError:
+            known = ", ".join(m.value for m in cls)
+            raise DiagnosisError(
+                f"unknown diagnosis method {value!r}; known: {known}") from None
+
+
+@runtime_checkable
+class DiagnosisOutcome(Protocol):
+    """What every solver's result offers, whatever else it carries.
+
+    Satisfied by :class:`repro.diagnosis.engine.DatalogDiagnosisResult`,
+    :class:`repro.diagnosis.dedicated.DedicatedResult` and
+    :class:`repro.diagnosis.bruteforce.BruteforceResult`.
+    """
+
+    @property
+    def diagnoses(self) -> DiagnosisSet: ...
+
+    @property
+    def counters(self) -> Counters: ...
+
+    @property
+    def materialized_events(self) -> frozenset[str]: ...
+
+    @property
+    def materialized_conditions(self) -> frozenset[str]: ...
+
+    @property
+    def partial(self) -> bool: ...
+
+
+def diagnose(petri: PetriNet, alarms: AlarmSequence,
+             method: DiagnosisMethod | str = DiagnosisMethod.DQSQ, *,
+             budget: EvaluationBudget | None = None,
+             options: NetworkOptions | None = None,
+             supervisor: str = SUPERVISOR,
+             use_termination_detector: bool = False,
+             hidden: frozenset[str] = frozenset(),
+             hidden_budget: int = 0,
+             max_events: int = 50_000) -> DiagnosisOutcome:
+    """Diagnose ``alarms`` against ``petri`` with the chosen solver.
+
+    ``budget``, ``options``, ``supervisor`` and
+    ``use_termination_detector`` configure the Datalog paths (``dqsq``,
+    ``qsq``, ``bottomup``); ``options`` carries the network fault plan
+    for ``dqsq``.  ``hidden``, ``hidden_budget`` and ``max_events``
+    configure the unfolding-based paths (``dedicated``, ``bruteforce``).
+    Passing a knob the chosen solver does not consume is harmless.
+    """
+    method = DiagnosisMethod.coerce(method)
+    if method in (DiagnosisMethod.DQSQ, DiagnosisMethod.QSQ,
+                  DiagnosisMethod.BOTTOMUP):
+        engine = DatalogDiagnosisEngine(
+            petri, mode=EvaluationMode(method.value), supervisor=supervisor,
+            budget=budget, options=options,
+            use_termination_detector=use_termination_detector)
+        return engine.diagnose(alarms)
+    if method is DiagnosisMethod.DEDICATED:
+        hidden_depth = (len(alarms) + hidden_budget) if hidden else None
+        return DedicatedDiagnoser(petri, max_events=max_events,
+                                  hidden=hidden,
+                                  hidden_depth=hidden_depth).diagnose(alarms)
+    return bruteforce_diagnosis(petri, alarms, hidden=hidden,
+                                hidden_budget=hidden_budget,
+                                max_events=max_events)

@@ -4,6 +4,7 @@ Usage::
 
     python -m repro list-scenarios
     python -m repro diagnose --scenario figure1-bac [--mode dqsq|qsq|dedicated|bruteforce]
+    python -m repro diagnose --scenario figure1-bac --drop 0.2 --seed 7
     python -m repro diagnose --net net.json --alarms "b@p1 a@p2 c@p1"
     python -m repro render --scenario figure1-bac            # DOT to stdout
     python -m repro experiments [E1 E6a ...]
@@ -14,8 +15,9 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
-                             DedicatedDiagnoser, bruteforce_diagnosis)
+from repro.api import DiagnosisMethod, diagnose
+from repro.diagnosis import AlarmSequence
+from repro.distributed.network import FaultPlan, NetworkOptions
 from repro.errors import ReproError
 from repro.petri.io import petri_from_json, petri_to_dot
 from repro.workloads import SCENARIOS, get_scenario
@@ -50,24 +52,42 @@ def cmd_list_scenarios(_args) -> int:
     return 0
 
 
+def _network_options(args) -> NetworkOptions:
+    try:
+        return NetworkOptions(seed=args.seed,
+                              fault=FaultPlan(drop_probability=args.drop))
+    except ValueError as err:
+        raise ReproError(str(err)) from err
+
+
 def cmd_diagnose(args) -> int:
     petri, alarms = _load_instance(args)
     print(f"alarm sequence: {' '.join(str(a) for a in alarms)}")
     if args.hidden:
         return _diagnose_with_hidden(args, petri, alarms)
-    if args.mode in ("dqsq", "qsq", "bottomup"):
-        engine = DatalogDiagnosisEngine(petri, mode=args.mode)
-        result = engine.diagnose(alarms)
-        diagnoses = result.diagnoses
-        print(f"materialized unfolding events: {len(result.materialized_events)}")
-    elif args.mode == "dedicated":
-        diagnoses = DedicatedDiagnoser(petri).diagnose(alarms).diagnoses
-    elif args.mode == "bruteforce":
-        diagnoses = bruteforce_diagnosis(petri, alarms).diagnoses
-    else:
-        raise ReproError(f"unknown mode {args.mode}")
+    result = diagnose(petri, alarms, method=args.mode,
+                      options=_network_options(args))
+    diagnoses = result.diagnoses
+    print(f"materialized unfolding events: {len(result.materialized_events)}")
+    if args.drop > 0 and args.mode == "dqsq":
+        counters = result.counters
+        print("transport: "
+              f"dropped={counters['net.dropped']} "
+              f"retransmits={counters['net.retransmits']} "
+              f"acks={counters['net.acks']} "
+              f"latency_max={counters['net.delivery_latency_max']}")
+    if result.partial:
+        print("WARNING: transport gave up before quiescence; the diagnosis "
+              "set below is a partial (lower-bound) result")
+        for channel, stats in (getattr(result, "transport_stats", None) or {}).items():
+            line = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()) if v)
+            print(f"  {channel}: {line}")
     if not diagnoses:
-        print("no explanation: the sequence is inconsistent with the model")
+        if result.partial:
+            print("no explanation found before the transport gave up "
+                  "(inconclusive; lower --drop or raise the retry budget)")
+        else:
+            print("no explanation: the sequence is inconsistent with the model")
         return 1
     if args.report:
         from repro.diagnosis.report import render_diagnosis_report
@@ -98,7 +118,8 @@ def _diagnose_with_hidden(args, petri, alarms) -> int:
     spec = ObservationSpec(observers=observers, hidden=hidden,
                            max_events=len(alarms) + args.hidden_budget)
     mode = args.mode if args.mode in ("dqsq", "qsq") else "dqsq"
-    result = ExtendedDiagnosisEngine(petri, spec, mode=mode).diagnose()
+    result = ExtendedDiagnosisEngine(petri, spec, mode=mode,
+                                     options=_network_options(args)).diagnose()
     diagnoses = result.diagnoses
     if not diagnoses:
         print("no explanation: the sequence is inconsistent with the model")
@@ -144,8 +165,13 @@ def build_parser() -> argparse.ArgumentParser:
     diagnose.add_argument("--net", help="Petri net JSON file")
     diagnose.add_argument("--alarms", help='alarm sequence, e.g. "b@p1 a@p2 c@p1"')
     diagnose.add_argument("--mode", default="dqsq",
-                          choices=["dqsq", "qsq", "bottomup", "dedicated",
-                                   "bruteforce"])
+                          choices=[m.value for m in DiagnosisMethod])
+    diagnose.add_argument("--drop", type=float, default=0.0,
+                          help="per-frame drop probability for the simulated "
+                               "network (dqsq mode); the reliability layer "
+                               "retransmits until delivery or retry exhaustion")
+    diagnose.add_argument("--seed", type=int, default=0,
+                          help="scheduler / fault-injection seed")
     diagnose.add_argument("--report", action="store_true",
                           help="render a human-readable report (Section 2's "
                                "'explained to a human supervisor')")

@@ -137,10 +137,23 @@ class Database:
         return {key: len(facts) for key, facts in self._facts.items() if facts}
 
     def copy(self) -> "Database":
+        """Bulk-copy the store (hot path in dQSQ peer setup).
+
+        Facts in ``self`` are already validated ground tuples, so the
+        copy clones the ordered lists and hash sets directly instead of
+        re-validating fact-by-fact through :meth:`add`.  Lazy secondary
+        indices are not copied; they rebuild on demand.  The change log
+        is reconstructed with one entry per fact (grouped by relation),
+        which is what per-fact insertion would have produced.
+        """
         out = Database()
         for key, facts in self._ordered.items():
-            for fact in facts:
-                out.add(key, fact)
+            if not facts:
+                continue
+            out._ordered[key] = list(facts)
+            out._facts[key] = set(self._facts[key])
+            out._change_log.extend([key] * len(facts))
+        out._size = self._size
         return out
 
     def __len__(self) -> int:

@@ -23,7 +23,8 @@ from repro.diagnosis.bruteforce import bruteforce_diagnosis
 from repro.diagnosis.dedicated import DedicatedDiagnoser, DedicatedResult
 from repro.diagnosis.encoding import UnfoldingEncoder, node_id_of_term
 from repro.diagnosis.supervisor import SupervisorEncoder, SUPERVISOR
-from repro.diagnosis.engine import DatalogDiagnosisEngine, DatalogDiagnosisResult
+from repro.diagnosis.engine import (DatalogDiagnosisEngine,
+                                    DatalogDiagnosisResult, EvaluationMode)
 from repro.diagnosis.patterns import AlarmPattern, PatternObserverBuilder
 from repro.diagnosis.report import (decode_event, diagnosis_to_dot,
                                     render_diagnosis_report)
@@ -37,7 +38,7 @@ __all__ = [
     "DedicatedDiagnoser", "DedicatedResult",
     "UnfoldingEncoder", "node_id_of_term",
     "SupervisorEncoder", "SUPERVISOR",
-    "DatalogDiagnosisEngine", "DatalogDiagnosisResult",
+    "DatalogDiagnosisEngine", "DatalogDiagnosisResult", "EvaluationMode",
     "AlarmPattern", "PatternObserverBuilder",
     "decode_event", "diagnosis_to_dot", "render_diagnosis_report",
     "OnlineDiagnoser", "online_diagnosis", "explains_strict",

@@ -14,13 +14,14 @@ needed once sequences no longer bound the configuration size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.diagnosis.alarms import AlarmSequence
 from repro.diagnosis.problem import DiagnosisSet, diagnosis_set
 from repro.petri.net import PetriNet
 from repro.petri.occurrence import BranchingProcess
 from repro.petri.unfolding import unfold
+from repro.utils.counters import Counters
 
 
 @dataclass
@@ -30,6 +31,23 @@ class BruteforceResult:
     diagnoses: DiagnosisSet
     bp: BranchingProcess
     explored_states: int
+    counters: Counters = field(default_factory=Counters)
+
+    # -- DiagnosisOutcome protocol (repro.api): brute force materializes
+    # the whole depth-bounded unfolding it searches.
+
+    @property
+    def materialized_events(self) -> frozenset[str]:
+        return frozenset(self.bp.events)
+
+    @property
+    def materialized_conditions(self) -> frozenset[str]:
+        return frozenset(self.bp.conditions)
+
+    @property
+    def partial(self) -> bool:
+        """Brute force runs in-process; never partial."""
+        return False
 
 
 def bruteforce_diagnosis(petri: PetriNet, alarms: AlarmSequence,
@@ -97,5 +115,11 @@ def bruteforce_diagnosis(petri: PetriNet, alarms: AlarmSequence,
         # full alarm sequence while still listing extra hidden events; all
         # are valid explanations.  Visible-complete check already applied.
         pass
-    return BruteforceResult(diagnoses=diagnosis_set(found), bp=bp,
-                            explored_states=explored[0])
+    diagnoses = diagnosis_set(found)
+    counters = Counters()
+    counters.add("explored_states", explored[0])
+    counters.add("diagnoses", len(diagnoses))
+    counters.add("materialized_events", len(bp.events))
+    counters.add("materialized_conditions", len(bp.conditions))
+    return BruteforceResult(diagnoses=diagnoses, bp=bp,
+                            explored_states=explored[0], counters=counters)

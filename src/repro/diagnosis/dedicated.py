@@ -40,6 +40,22 @@ class DedicatedResult:
     projected_conditions: frozenset[str]
     counters: Counters
 
+    # -- DiagnosisOutcome protocol (repro.api): the dedicated algorithm's
+    # materialized prefix is exactly its projected node set (Theorem 4).
+
+    @property
+    def materialized_events(self) -> frozenset[str]:
+        return self.projected_events
+
+    @property
+    def materialized_conditions(self) -> frozenset[str]:
+        return self.projected_conditions
+
+    @property
+    def partial(self) -> bool:
+        """The dedicated algorithm runs in-process; never partial."""
+        return False
+
 
 class DedicatedDiagnoser:
     """[8]'s product-unfolding diagnoser."""

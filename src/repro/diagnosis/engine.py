@@ -19,6 +19,7 @@ dedicated algorithm's prefix.
 
 from __future__ import annotations
 
+import enum
 from dataclasses import dataclass, field
 
 from repro.datalog.database import Database, Fact
@@ -41,6 +42,27 @@ from repro.utils.counters import Counters
 _EVENT_RELATIONS = (TRANS1, TRANS2)
 
 
+class EvaluationMode(str, enum.Enum):
+    """How the dDatalog diagnosis program is evaluated.
+
+    A ``str`` enum: historical string arguments (``"dqsq"``) keep
+    working everywhere a mode is accepted, and members compare equal to
+    their string values.
+    """
+
+    DQSQ = "dqsq"
+    QSQ = "qsq"
+    BOTTOMUP = "bottomup"
+
+    @classmethod
+    def coerce(cls, value: "EvaluationMode | str") -> "EvaluationMode":
+        """Accept a member or its string value; reject anything else."""
+        try:
+            return cls(value)
+        except ValueError:
+            raise DiagnosisError(f"unknown mode {value!r}") from None
+
+
 @dataclass
 class DatalogDiagnosisResult:
     """Diagnoses plus materialization instrumentation."""
@@ -52,20 +74,25 @@ class DatalogDiagnosisResult:
     materialized_conditions: frozenset[str]
     counters: Counters
     answers: set[Fact] = field(repr=False, default_factory=set)
+    #: True when the transport gave up before quiescence: the diagnosis
+    #: set is a lower bound computed from the facts derived before the
+    #: failure, not the exact answer
+    partial: bool = False
+    #: per-channel delivery statistics of the failed run (from
+    #: :class:`repro.errors.TransportExhausted`), ``None`` otherwise
+    transport_stats: dict[str, dict[str, int]] | None = None
 
 
 class DatalogDiagnosisEngine:
     """Diagnosis via the dDatalog encoding, under a chosen evaluation mode."""
 
-    def __init__(self, petri: PetriNet, mode: str = "dqsq",
+    def __init__(self, petri: PetriNet, mode: EvaluationMode | str = EvaluationMode.DQSQ,
                  supervisor: str = SUPERVISOR,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
                  use_termination_detector: bool = False) -> None:
-        if mode not in ("dqsq", "qsq", "bottomup"):
-            raise DiagnosisError(f"unknown mode {mode!r}")
         self.petri = petri
-        self.mode = mode
+        self.mode = EvaluationMode.coerce(mode)
         self.supervisor = supervisor
         self.budget = budget or EvaluationBudget(max_facts=2_000_000)
         self.options = options or NetworkOptions()
@@ -77,18 +104,24 @@ class DatalogDiagnosisEngine:
         query_atom = encoder.query_atom()
         counters = Counters()
 
-        if self.mode == "dqsq":
+        partial = False
+        transport_stats: dict[str, dict[str, int]] | None = None
+        if self.mode is EvaluationMode.DQSQ:
             engine = DqsqEngine(program, budget=self.budget, options=self.options,
                                 use_termination_detector=self.use_termination_detector)
             result = engine.query(Query(query_atom))
             counters.merge(result.counters)
             answers = result.answers
             events, conditions = _collect_nodes_from_adorned(result.databases.values())
+            if result.transport_error is not None:
+                partial = True
+                transport_stats = result.transport_error.stats
+                counters.add("net.transport_exhausted")
         else:
             local = program.local_version()
             local_query = Query(Atom(f"{query_atom.relation}@{query_atom.peer}",
                                      query_atom.args, None))
-            if self.mode == "qsq":
+            if self.mode is EvaluationMode.QSQ:
                 qsq = qsq_evaluate(local, local_query, Database(),
                                    budget=self.budget)
                 counters.merge(qsq.counters)
@@ -110,7 +143,8 @@ class DatalogDiagnosisEngine:
             diagnoses=diagnoses,
             materialized_events=frozenset(events),
             materialized_conditions=frozenset(conditions),
-            counters=counters, answers=answers)
+            counters=counters, answers=answers,
+            partial=partial, transport_stats=transport_stats)
 
 
 def _answers_to_diagnoses(answers: set[Fact]) -> DiagnosisSet:

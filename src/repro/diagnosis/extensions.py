@@ -33,7 +33,7 @@ from repro.datalog.seminaive import EvaluationBudget
 from repro.datalog.term import Const, Func, Var
 from repro.diagnosis.encoding import (PETRINET1, PETRINET2, PLACES, ROOT,
                                       TRANS1, TRANS2, UnfoldingEncoder, g_term)
-from repro.diagnosis.engine import (_answers_to_diagnoses,
+from repro.diagnosis.engine import (EvaluationMode, _answers_to_diagnoses,
                                     _collect_nodes_from_adorned)
 from repro.diagnosis.patterns import AlarmPattern
 from repro.diagnosis.problem import DiagnosisSet, diagnosis_set
@@ -353,11 +353,13 @@ class ExtendedDiagnosisEngine:
     """Datalog diagnosis under an :class:`ObservationSpec` (Section 4.4)."""
 
     def __init__(self, petri: PetriNet, spec: ObservationSpec,
-                 mode: str = "dqsq", supervisor: str = SUPERVISOR,
+                 mode: "EvaluationMode | str" = "dqsq", supervisor: str = SUPERVISOR,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None) -> None:
-        if mode not in ("dqsq", "qsq"):
-            raise DiagnosisError(f"unknown mode {mode!r}")
+        mode = EvaluationMode.coerce(mode)
+        if mode is EvaluationMode.BOTTOMUP:
+            raise DiagnosisError(
+                "the Section-4.4 extensions support dqsq and qsq only")
         self.petri = petri
         self.spec = spec
         self.mode = mode

@@ -10,14 +10,15 @@ in which every peer rewrites only its own rules and delegates rule
 remainders to the peers that own the next body atom (Figure 5).
 """
 
-from repro.distributed.network import Network, Message, NetworkOptions
+from repro.distributed.network import (FaultPlan, Message, Network,
+                                       NetworkOptions)
 from repro.distributed.ddatalog import DDatalogProgram, global_translation
 from repro.distributed.naive_dist import DistributedNaiveEngine
 from repro.distributed.dqsq import DqsqEngine, DqsqResult
 from repro.distributed.termination import DijkstraScholten
 
 __all__ = [
-    "Network", "Message", "NetworkOptions",
+    "Network", "Message", "NetworkOptions", "FaultPlan",
     "DDatalogProgram", "global_translation",
     "DistributedNaiveEngine",
     "DqsqEngine", "DqsqResult",

@@ -40,7 +40,7 @@ from repro.datalog.term import Var, variables_of
 from repro.distributed.ddatalog import DDatalogProgram
 from repro.distributed.network import Message, Network, NetworkOptions
 from repro.distributed.termination import ACK_KIND, DijkstraScholten
-from repro.errors import DistributedError
+from repro.errors import DistributedError, TransportExhausted
 from repro.utils.counters import Counters
 
 KIND_FACTS = "dqsq-facts"
@@ -371,6 +371,14 @@ class DqsqResult:
     per_peer: dict[str, Counters]
     databases: dict[str, Database] = field(repr=False, default_factory=dict)
     terminated_by_detector: bool | None = None
+    #: set when the reliable transport gave up before quiescence; the
+    #: answers then reflect only what was derived before the failure
+    transport_error: TransportExhausted | None = None
+
+    @property
+    def partial(self) -> bool:
+        """True when the evaluation stopped early on transport failure."""
+        return self.transport_error is not None
 
     def homed_fact_counts(self) -> dict[RelationKey, int]:
         """Distinct facts per relation, counted at their home peer only.
@@ -456,7 +464,13 @@ class DqsqEngine:
             origin._send(network, atom.peer, KIND_QUERY, seed)
             if detector is not None:
                 detector.peer_passive(origin_name, network)
-        network.run_until_quiescent()
+        transport_error: TransportExhausted | None = None
+        try:
+            network.run_until_quiescent()
+        except TransportExhausted as err:
+            # Graceful degradation: keep every fact derived so far and
+            # report a partial result instead of crashing the evaluation.
+            transport_error = err
 
         answer_relation = adorned_name(atom.relation, adornment)
         answers = select(origin.db, Atom(answer_relation, atom.args, atom.peer))
@@ -472,4 +486,5 @@ class DqsqEngine:
         return DqsqResult(
             answers=answers, counters=counters, per_peer=per_peer,
             databases=databases,
-            terminated_by_detector=(detector.terminated if detector else None))
+            terminated_by_detector=(detector.terminated if detector else None),
+            transport_error=transport_error)

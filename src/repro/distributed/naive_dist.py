@@ -25,7 +25,7 @@ from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget, IncrementalEvaluator
 from repro.distributed.ddatalog import DDatalogProgram
 from repro.distributed.network import Message, Network, NetworkOptions
-from repro.errors import DistributedError
+from repro.errors import DistributedError, TransportExhausted
 from repro.utils.counters import Counters
 
 KIND_ACTIVATE = "activate"
@@ -118,6 +118,12 @@ class NaiveDistResult:
     answers: set[Fact]
     counters: Counters
     per_peer: dict[str, Counters]
+    #: set when the reliable transport gave up before quiescence
+    transport_error: TransportExhausted | None = None
+
+    @property
+    def partial(self) -> bool:
+        return self.transport_error is not None
 
 
 class DistributedNaiveEngine:
@@ -155,7 +161,11 @@ class DistributedNaiveEngine:
         origin = peers[atom.peer]
         origin.activate(atom.relation, network)
         origin.evaluate(network)
-        network.run_until_quiescent()
+        transport_error: TransportExhausted | None = None
+        try:
+            network.run_until_quiescent()
+        except TransportExhausted as err:
+            transport_error = err
 
         answers = select(origin.db, Atom(atom.relation, atom.args, atom.peer))
         counters = Counters()
@@ -167,4 +177,6 @@ class DistributedNaiveEngine:
             counters.merge(peer.counters)
         counters.add("facts_materialized_global",
                      sum(peer.db.total_facts() for peer in peers.values()))
-        return NaiveDistResult(answers=answers, counters=counters, per_peer=per_peer)
+        return NaiveDistResult(answers=answers, counters=counters,
+                               per_peer=per_peer,
+                               transport_error=transport_error)

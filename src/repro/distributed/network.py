@@ -1,9 +1,9 @@
-"""A simulated asynchronous message-passing network.
+"""A simulated asynchronous message-passing network with a reliability layer.
 
 This is the substitution for the paper's real distributed deployment:
 peers are in-process objects, channels are FIFO queues per (sender,
 recipient) pair, and a seeded scheduler picks which channel delivers
-next.  The model matches the paper's assumptions exactly:
+next.  The base model matches the paper's assumptions exactly:
 
 * communication is asynchronous -- messages from *different* senders
   interleave arbitrarily (scheduler choice);
@@ -11,41 +11,113 @@ next.  The model matches the paper's assumptions exactly:
   relative order of its alarms ... respects the order in which they
   were sent".
 
-For failure-injection tests, options allow duplicating deliveries and
-randomizing *cross-channel* order more aggressively; per-channel FIFO is
-never violated (the paper assumes it).
+The paper additionally assumes the network is *reliable*: no message is
+ever lost.  Real supervisor deployments do not get that for free, so a
+:class:`FaultPlan` can inject loss, delay and duplication, and the
+network then activates a reliable-delivery layer (per-channel sequence
+numbers, cumulative acknowledgements, receiver-side deduplication and
+reordering buffers, sender-side retransmission with a bounded retry
+budget).  The layer restores exactly the paper's contract at the handler
+boundary: every logical message is delivered to its recipient's handler
+**exactly once, in per-channel FIFO order** -- so the dQSQ peers, the
+distributed naive engine and the Dijkstra-Scholten termination detector
+(which must count only first deliveries of basic messages) run unchanged
+on a lossy substrate.  When the retry budget is exhausted the network
+raises :class:`repro.errors.TransportExhausted` carrying per-channel
+delivery statistics, which the diagnosis engine turns into a
+partial-result report.
 """
 
 from __future__ import annotations
 
 import random
+import warnings
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Protocol
 
-from repro.errors import NetworkClosedError, UnknownPeerError
+from repro.errors import (NetworkClosedError, TransportExhausted,
+                          UnknownPeerError)
 from repro.utils.counters import Counters
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Failure-injection knobs, grouped (loss, delay, duplication, retry).
+
+    The defaults describe the paper's idealized network: nothing is
+    dropped, delayed or duplicated, and the reliability layer stays out
+    of the way entirely.
+    """
+
+    #: probability that a transmitted frame is lost in transit
+    drop_probability: float = 0.0
+    #: probability that a delivered frame is delivered a second time
+    duplicate_probability: float = 0.0
+    #: extra in-flight ticks per frame; ``(lo, hi)`` uniform or callable
+    delay_distribution: tuple[int, int] | Callable[[random.Random], int] | None = None
+    #: how many times one frame may be retransmitted before giving up
+    max_retries: int = 25
+    #: retransmit a frame once this many deliveries elapse without an ack
+    ack_timeout_deliveries: int = 16
+
+    def __post_init__(self) -> None:
+        for name in ("drop_probability", "duplicate_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.ack_timeout_deliveries < 1:
+            raise ValueError("ack_timeout_deliveries must be >= 1")
+        if isinstance(self.delay_distribution, tuple):
+            lo, hi = self.delay_distribution
+            if lo < 0 or hi < lo:
+                raise ValueError(f"bad delay range ({lo}, {hi})")
+
+    def needs_reliability(self) -> bool:
+        """Whether the reliable-delivery layer must engage."""
+        return self.drop_probability > 0 or self.delay_distribution is not None
+
+    def sample_delay(self, rng: random.Random) -> int:
+        if self.delay_distribution is None:
+            return 0
+        if isinstance(self.delay_distribution, tuple):
+            lo, hi = self.delay_distribution
+            return rng.randint(lo, hi)
+        return max(0, int(self.delay_distribution(rng)))
+
+
+@dataclass(frozen=True)
+class NetworkOptions:
+    """Scheduler knobs plus the grouped failure-injection plan."""
+
+    seed: int = 0
+    max_deliveries: int = 1_000_000
+    fault: FaultPlan = FaultPlan()
+    #: deprecated -- use ``fault=FaultPlan(duplicate_probability=...)``
+    duplicate_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.duplicate_probability:
+            warnings.warn(
+                "NetworkOptions.duplicate_probability is deprecated; use "
+                "fault=FaultPlan(duplicate_probability=...)",
+                DeprecationWarning, stacklevel=3)
+            object.__setattr__(
+                self, "fault",
+                replace(self.fault,
+                        duplicate_probability=self.duplicate_probability))
 
 
 @dataclass(frozen=True)
 class Message:
-    """One message in flight."""
+    """One logical message as seen by peer handlers."""
 
     sender: str
     recipient: str
     kind: str
     payload: Any
     seq: int
-
-
-@dataclass(frozen=True)
-class NetworkOptions:
-    """Scheduler and failure-injection knobs."""
-
-    seed: int = 0
-    max_deliveries: int = 1_000_000
-    #: probability that a delivered message is delivered a second time
-    duplicate_probability: float = 0.0
 
 
 class PeerHandler(Protocol):
@@ -55,18 +127,63 @@ class PeerHandler(Protocol):
         ...
 
 
+_ACK = "__transport-ack__"
+
+
+@dataclass
+class _Frame:
+    """One transmission on the wire (a logical message or a transport ack)."""
+
+    message: Message
+    channel_seq: int            #: per-channel sequence number (1-based)
+    eligible_at: int            #: earliest clock tick this frame may arrive
+    is_ack: bool = False
+    ack_value: int = 0          #: cumulative: all channel_seq <= value received
+
+
+@dataclass
+class _Pending:
+    """Sender-side bookkeeping for an unacknowledged frame."""
+
+    message: Message
+    channel_seq: int
+    sent_at: int                #: clock tick of the original transmission
+    last_tx: int                #: clock tick of the latest (re)transmission
+    retries: int = 0
+    #: copies currently on the wire; retransmitting while one is still
+    #: queued would only amplify traffic, so the timer waits for zero
+    in_flight: int = 1
+
+
+@dataclass
+class _ChannelState:
+    """Reliability state for one directed (sender, recipient) channel."""
+
+    next_seq: int = 1                                   # sender side
+    outstanding: dict[int, _Pending] = field(default_factory=dict)
+    expected: int = 1                                   # receiver side
+    reorder: dict[int, _Frame] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=lambda: {
+        "sent": 0, "delivered": 0, "dropped": 0, "retransmits": 0,
+        "acked": 0, "duplicates_suppressed": 0})
+
+
 class Network:
-    """Registry of peers plus the delivery scheduler."""
+    """Registry of peers plus the delivery scheduler and transport layer."""
 
     def __init__(self, options: NetworkOptions | None = None) -> None:
         self.options = options or NetworkOptions()
+        self.fault = self.options.fault
         self.counters = Counters()
         self._rng = random.Random(self.options.seed)
         self._handlers: dict[str, PeerHandler] = {}
-        self._channels: dict[tuple[str, str], deque[Message]] = {}
+        self._channels: dict[tuple[str, str], deque[_Frame]] = {}
+        self._states: dict[tuple[str, str], _ChannelState] = {}
         self._seq = 0
+        self._clock = 0
         self._closed = False
         self._monitors: list[Callable[[Message], None]] = []
+        self._reliable = self.fault.needs_reliability()
 
     # -- registration --------------------------------------------------------
 
@@ -79,13 +196,24 @@ class Network:
         return tuple(sorted(self._handlers))
 
     def add_monitor(self, callback: Callable[[Message], None]) -> None:
-        """Observe every delivery (used by the termination detector tests)."""
+        """Observe every handler delivery (used by the termination tests).
+
+        Monitors see exactly the messages handlers see: first deliveries
+        only, never drops, transport acks or suppressed duplicates.
+        """
         self._monitors.append(callback)
 
     # -- sending / delivery ---------------------------------------------------
 
+    def _state(self, channel: tuple[str, str]) -> _ChannelState:
+        state = self._states.get(channel)
+        if state is None:
+            state = _ChannelState()
+            self._states[channel] = state
+        return state
+
     def send(self, sender: str, recipient: str, kind: str, payload: Any) -> None:
-        """Enqueue a message; raises for unknown recipients."""
+        """Enqueue a logical message; raises for unknown recipients."""
         if self._closed:
             raise NetworkClosedError("network is closed")
         if recipient not in self._handlers:
@@ -93,29 +221,191 @@ class Network:
         self._seq += 1
         message = Message(sender=sender, recipient=recipient, kind=kind,
                           payload=payload, seq=self._seq)
-        self._channels.setdefault((sender, recipient), deque()).append(message)
+        channel = (sender, recipient)
+        state = self._state(channel)
+        channel_seq = state.next_seq
+        state.next_seq += 1
+        state.stats["sent"] += 1
+        frame = _Frame(message=message, channel_seq=channel_seq,
+                       eligible_at=self._eligible_tick(channel))
+        if self._reliable:
+            state.outstanding[channel_seq] = _Pending(
+                message=message, channel_seq=channel_seq,
+                sent_at=self._clock, last_tx=self._clock)
+        self._enqueue(channel, frame)
         self.counters.add("messages_sent")
         self.counters.add(f"messages_sent[{kind}]")
 
+    def _eligible_tick(self, channel: tuple[str, str]) -> int:
+        """Sample a delivery delay, monotone per channel (FIFO on the wire)."""
+        eligible = self._clock + self.fault.sample_delay(self._rng)
+        queue = self._channels.get(channel)
+        if queue:
+            eligible = max(eligible, queue[-1].eligible_at)
+        return eligible
+
+    def _enqueue(self, channel: tuple[str, str], frame: _Frame) -> None:
+        self._channels.setdefault(channel, deque()).append(frame)
+
     def pending(self) -> int:
+        """Frames still on the wire (including transport acks)."""
         return sum(len(q) for q in self._channels.values())
 
-    def step(self) -> bool:
-        """Deliver one message from a scheduler-chosen channel.
+    def in_flight(self) -> int:
+        """Logical messages not yet delivered to their handler."""
+        if not self._reliable:
+            return self.pending()
+        return sum(len(s.outstanding) for s in self._states.values())
 
-        Returns False when nothing is in flight.
+    # -- the scheduler -------------------------------------------------------
+
+    def step(self) -> bool:
+        """Deliver (or drop) one frame from a scheduler-chosen channel.
+
+        Returns False when nothing is in flight and nothing awaits a
+        retransmission -- i.e. the network is globally quiescent.
         """
-        nonempty = [key for key, queue in self._channels.items() if queue]
-        if not nonempty:
-            return False
-        channel = self._rng.choice(sorted(nonempty))
-        message = self._channels[channel].popleft()
-        self._deliver(message)
-        if (self.options.duplicate_probability > 0
-                and self._rng.random() < self.options.duplicate_probability):
+        while True:
+            nonempty = [key for key, queue in self._channels.items() if queue]
+            if not nonempty:
+                if self._reliable and self._retransmit(force=True):
+                    continue
+                return False
+            eligible = [key for key in nonempty
+                        if self._channels[key][0].eligible_at <= self._clock]
+            if not eligible:
+                # Fast-forward the clock to the next arrival: delays are
+                # relative ticks, not wall time.
+                self._clock = min(self._channels[key][0].eligible_at
+                                  for key in nonempty)
+                continue
+            channel = self._rng.choice(sorted(eligible))
+            frame = self._channels[channel].popleft()
+            self._clock += 1
+            self._receive(channel, frame)
+            if self._reliable:
+                self._retransmit(force=False)
+            return True
+
+    def _receive(self, channel: tuple[str, str], frame: _Frame) -> None:
+        """Transport-level arrival: loss, acks, dedup, reorder, delivery."""
+        if not self._reliable:
+            self._deliver(frame.message)
+            if (self.fault.duplicate_probability > 0
+                    and self._rng.random() < self.fault.duplicate_probability):
+                self.counters.add("messages_duplicated")
+                self._deliver(frame.message)
+            return
+        state = self._state(channel)
+        if not frame.is_ack:
+            consumed = state.outstanding.get(frame.channel_seq)
+            if consumed is not None and consumed.in_flight > 0:
+                consumed.in_flight -= 1
+                # The copy left the wire: the ack round-trip starts now,
+                # so restart the retransmission timer from here (queueing
+                # latency must not masquerade as loss).
+                consumed.last_tx = self._clock
+        # Loss applies to every frame on the wire, acks included.
+        if (self.fault.drop_probability > 0
+                and self._rng.random() < self.fault.drop_probability):
+            self.counters.add("net.dropped")
+            if not frame.is_ack:
+                self._state(channel).stats["dropped"] += 1
+            return
+        if frame.is_ack:
+            self._accept_ack(channel, frame)
+            return
+        if frame.channel_seq < state.expected:
+            # Duplicate of an already-delivered frame (retransmit raced
+            # the ack, or injected duplication): suppress, but re-ack so
+            # the sender stops retransmitting.
+            self.counters.add("net.duplicates_suppressed")
+            state.stats["duplicates_suppressed"] += 1
+            self._send_ack(channel, state.expected - 1)
+            return
+        if frame.channel_seq > state.expected:
+            # A predecessor was dropped: buffer, never deliver out of
+            # order (the paper's per-channel FIFO assumption).
+            state.reorder.setdefault(frame.channel_seq, frame)
+            self.counters.add("net.out_of_order_buffered")
+            self._send_ack(channel, state.expected - 1)
+            return
+        self._accept_data(channel, state, frame)
+        while state.expected in state.reorder:
+            self._accept_data(channel, state,
+                              state.reorder.pop(state.expected))
+        self._send_ack(channel, state.expected - 1)
+        if (self.fault.duplicate_probability > 0
+                and self._rng.random() < self.fault.duplicate_probability):
+            # A duplicated delivery: it re-arrives below the expected
+            # sequence number, so the dedup path suppresses it.
             self.counters.add("messages_duplicated")
-            self._deliver(message)
-        return True
+            self.counters.add("net.duplicates_suppressed")
+            state.stats["duplicates_suppressed"] += 1
+
+    def _accept_data(self, channel: tuple[str, str], state: _ChannelState,
+                     frame: _Frame) -> None:
+        state.expected = frame.channel_seq + 1
+        state.stats["delivered"] += 1
+        pending = state.outstanding.get(frame.channel_seq)
+        if pending is not None:
+            self.counters.set_max("net.delivery_latency_max",
+                                  self._clock - pending.sent_at)
+        self._deliver(frame.message)
+
+    def _send_ack(self, channel: tuple[str, str], ack_value: int) -> None:
+        """Queue a cumulative transport ack on the reverse channel."""
+        sender, recipient = channel
+        reverse = (recipient, sender)
+        ack_message = Message(sender=recipient, recipient=sender,
+                              kind=_ACK, payload=ack_value, seq=0)
+        self._enqueue(reverse, _Frame(message=ack_message, channel_seq=0,
+                                      eligible_at=self._eligible_tick(reverse),
+                                      is_ack=True, ack_value=ack_value))
+        self.counters.add("net.acks")
+
+    def _accept_ack(self, reverse: tuple[str, str], frame: _Frame) -> None:
+        """A cumulative ack arrived: settle the forward channel's frames."""
+        forward = (reverse[1], reverse[0])
+        state = self._state(forward)
+        for seq in [s for s in state.outstanding if s <= frame.ack_value]:
+            del state.outstanding[seq]
+            state.stats["acked"] += 1
+
+    def _retransmit(self, force: bool) -> bool:
+        """Re-send timed-out unacknowledged frames.
+
+        With ``force`` (wire empty but frames unsettled) every outstanding
+        frame is resent immediately: nothing else can advance the clock.
+        Returns True when anything was retransmitted.
+        """
+        # The clock ticks once per global delivery, so an ack's queueing
+        # time grows with the wire backlog; waiting out the backlog keeps
+        # the fixed part of the timeout a loss signal, not a load signal.
+        timeout = self.fault.ack_timeout_deliveries + self.pending()
+        resent = False
+        for channel in sorted(self._states):
+            state = self._states[channel]
+            for seq in sorted(state.outstanding):
+                pending = state.outstanding[seq]
+                if pending.in_flight > 0:
+                    continue
+                if not force and self._clock - pending.last_tx < timeout:
+                    continue
+                if pending.retries >= self.fault.max_retries:
+                    raise TransportExhausted(
+                        channel=channel, kind=pending.message.kind,
+                        retries=pending.retries, stats=self.channel_stats())
+                pending.retries += 1
+                pending.last_tx = self._clock
+                pending.in_flight = 1
+                state.stats["retransmits"] += 1
+                self.counters.add("net.retransmits")
+                self._enqueue(channel, _Frame(
+                    message=pending.message, channel_seq=seq,
+                    eligible_at=self._eligible_tick(channel)))
+                resent = True
+        return resent
 
     def _deliver(self, message: Message) -> None:
         self.counters.add("messages_delivered")
@@ -126,9 +416,11 @@ class Network:
     def run_until_quiescent(self) -> int:
         """Deliver until no message is in flight; returns delivery count.
 
-        Handlers run synchronously, so an empty network means global
-        quiescence.  Deliveries are capped by ``max_deliveries`` to turn
-        livelock into an explicit error.
+        Handlers run synchronously, so an empty network with no
+        unacknowledged frame means global quiescence.  Deliveries are
+        capped by ``max_deliveries`` to turn livelock into an explicit
+        error.  Raises :class:`TransportExhausted` when a frame runs out
+        of retries.
         """
         delivered = 0
         while self.step():
@@ -138,6 +430,14 @@ class Network:
                     f"exceeded {self.options.max_deliveries} deliveries; "
                     f"evaluation is probably diverging")
         return delivered
+
+    # -- introspection --------------------------------------------------------
+
+    def channel_stats(self) -> dict[str, dict[str, int]]:
+        """Per-channel delivery statistics, keyed ``"sender->recipient"``."""
+        return {f"{s}->{r}": dict(state.stats)
+                for (s, r), state in sorted(self._states.items())
+                if any(state.stats.values())}
 
     def close(self) -> None:
         self._closed = True

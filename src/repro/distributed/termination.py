@@ -17,6 +17,13 @@ message deliveries, so the protocol hooks are: ``on_basic_send`` /
 acknowledgement traffic, and ``peer_passive`` after each handler run.
 Acknowledgements are queued and flushed through the same network, so
 they interleave with basic traffic like any other message.
+
+The detector assumes reliable exactly-once channels, and the transport
+guarantees it: over a lossy/delaying ``FaultPlan`` the reliability layer
+in ``network.py`` acknowledges, deduplicates and reorders frames *below*
+this protocol, so ``on_basic_receive`` fires only for first deliveries
+and the deficit accounting stays balanced.  Transport-level acks and
+retransmissions are invisible here -- they are frames, not messages.
 """
 
 from __future__ import annotations

@@ -81,6 +81,27 @@ class UnknownPeerError(DistributedError):
     """Raised when a message is addressed to a peer that does not exist."""
 
 
+class TransportExhausted(DistributedError):
+    """Raised when the reliable-delivery layer runs out of retries.
+
+    Carries the poisoned channel, the kind of the undeliverable message
+    and a per-channel snapshot of delivery statistics (sent / delivered /
+    dropped / retransmits / acked), so callers can degrade gracefully --
+    the diagnosis engine reports a partial result instead of crashing.
+    """
+
+    def __init__(self, channel: tuple[str, str], kind: str, retries: int,
+                 stats: dict[str, dict[str, int]]):
+        sender, recipient = channel
+        super().__init__(
+            f"gave up delivering a {kind!r} message on channel "
+            f"{sender}->{recipient} after {retries} retries")
+        self.channel = channel
+        self.kind = kind
+        self.retries = retries
+        self.stats = stats
+
+
 class DiagnosisError(ReproError):
     """Base class for diagnosis-layer errors."""
 
