@@ -1,0 +1,199 @@
+#!/usr/bin/env python
+"""Join-kernel benchmark runner: interpreted vs compiled evaluation.
+
+Runs the same workloads through the reference interpreter
+(``compiled=False``, the pre-plan `iter_rule_bindings` path) and through
+the compiled :class:`repro.datalog.plan.JoinPlan` path, checks that both
+produce *identical* results (fact sets / diagnosis sets), and writes a
+machine-readable report to ``BENCH_join_kernel.json``.
+
+Workloads:
+
+* ``tc_chain``   -- transitive closure over a chain-with-shortcuts graph,
+  pure semi-naive bottom-up (the join kernel with no rewriting overhead).
+* ``e6_qsq``     -- the E6 telecom diagnosis scenario, centralized QSQ
+  (thousands of tiny rewritten rules; stresses plan caching).
+* ``e6_dqsq``    -- the same scenario under distributed dQSQ.
+
+Each variant runs twice: the first (cold) run pays plan compilation, the
+second (warm) run measures steady-state throughput, which is what the
+acceptance target compares.  Timings are reported but never gated; the
+runner exits non-zero only on an interpreted/compiled *equivalence*
+mismatch.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_join_kernel.py [--smoke] [--out PATH]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.datalog import Const, parse_program
+from repro.datalog.database import Database
+from repro.datalog.plan import clear_plan_cache, plan_cache_size
+from repro.datalog.seminaive import SemiNaiveEvaluator
+from repro.diagnosis import DatalogDiagnosisEngine
+from repro.petri.generators import TelecomSpec, telecom_net
+from repro.workloads.alarmgen import simulate_alarms
+
+TC_PROGRAM = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- path(X, Y), edge(Y, Z).
+"""
+
+EDGE = ("edge", None)
+PATH = ("path", None)
+
+
+def _tc_database(nodes: int) -> Database:
+    """Chain 0->1->...->n plus shortcut edges every 7 nodes."""
+    db = Database()
+    for i in range(nodes - 1):
+        db.add_ground(EDGE, (Const(i), Const(i + 1)))
+    for i in range(0, nodes - 7, 7):
+        db.add_ground(EDGE, (Const(i), Const(i + 7)))
+    return db
+
+
+def _measure(run_once):
+    """Cold run then warm run; returns (cold_s, warm_s, result)."""
+    t0 = time.perf_counter()
+    cold_result = run_once()
+    cold = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    warm_result = run_once()
+    warm = time.perf_counter() - t0
+    return cold, warm, cold_result, warm_result
+
+
+def bench_tc(nodes: int) -> dict:
+    program = parse_program(TC_PROGRAM)
+
+    def runner(compiled):
+        def run_once():
+            db = _tc_database(nodes)
+            evaluator = SemiNaiveEvaluator(program, compiled=compiled)
+            evaluator.run(db)
+            return {
+                "paths": frozenset(db.facts(PATH)),
+                "derivations": evaluator.counters["derivations"],
+                "facts": evaluator.counters["facts_materialized"],
+                "peak_facts": db.total_facts(),
+            }
+        return run_once
+
+    clear_plan_cache()
+    report = {"name": "tc_chain", "params": {"nodes": nodes}}
+    results = {}
+    for label, compiled in (("interpreted", False), ("compiled", True)):
+        cold, warm, first, second = _measure(runner(compiled))
+        results[label] = first
+        report[label] = _variant_report(cold, warm, first)
+    report["equivalent"] = (results["interpreted"]["paths"]
+                            == results["compiled"]["paths"])
+    _finish(report)
+    return report
+
+
+def bench_e6(mode: str, steps: int) -> dict:
+    spec = TelecomSpec(peers=2, ring_length=3, branching=0.3,
+                       topology="chain", seed=21)
+    petri = telecom_net(spec)
+    alarms = simulate_alarms(petri, steps=steps, seed=21)
+
+    def runner(compiled):
+        def run_once():
+            engine = DatalogDiagnosisEngine(petri, mode=mode, compiled=compiled)
+            result = engine.diagnose(alarms)
+            return {
+                "diagnoses": frozenset(result.diagnoses),
+                "derivations": result.counters["derivations"],
+                "facts": result.counters["facts_materialized"],
+                "peak_facts": result.counters["facts_materialized"],
+            }
+        return run_once
+
+    clear_plan_cache()
+    report = {"name": f"e6_{mode}", "params": {"steps": steps,
+                                               "alarms": len(alarms)}}
+    results = {}
+    for label, compiled in (("interpreted", False), ("compiled", True)):
+        cold, warm, first, second = _measure(runner(compiled))
+        results[label] = first
+        report[label] = _variant_report(cold, warm, first)
+    report["equivalent"] = (
+        results["interpreted"]["diagnoses"] == results["compiled"]["diagnoses"]
+        and results["interpreted"]["derivations"]
+            == results["compiled"]["derivations"])
+    _finish(report)
+    return report
+
+
+def _variant_report(cold: float, warm: float, result: dict) -> dict:
+    derivations = result["derivations"]
+    facts = result["facts"]
+    return {
+        "cold_s": round(cold, 6),
+        "warm_s": round(warm, 6),
+        "derivations": derivations,
+        "facts_materialized": facts,
+        "peak_facts": result["peak_facts"],
+        "derivations_per_sec": round(derivations / warm, 1) if warm else None,
+        "facts_per_sec": round(facts / warm, 1) if warm else None,
+    }
+
+
+def _finish(report: dict) -> None:
+    interp, comp = report["interpreted"], report["compiled"]
+    report["speedup_cold"] = round(interp["cold_s"] / comp["cold_s"], 3)
+    report["speedup_warm"] = round(interp["warm_s"] / comp["warm_s"], 3)
+    status = "OK" if report["equivalent"] else "MISMATCH"
+    print(f"{report['name']:12s} interp={interp['warm_s']:.3f}s "
+          f"compiled={comp['warm_s']:.3f}s "
+          f"speedup cold={report['speedup_cold']:.2f}x "
+          f"warm={report['speedup_warm']:.2f}x "
+          f"derivs={comp['derivations']} [{status}]")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small sizes for CI (shape check, not perf)")
+    parser.add_argument("--out", default="BENCH_join_kernel.json",
+                        help="output JSON path")
+    args = parser.parse_args(argv)
+
+    nodes = 60 if args.smoke else 240
+    steps = 2 if args.smoke else 6
+
+    workloads = [
+        bench_tc(nodes),
+        bench_e6("qsq", steps),
+        bench_e6("dqsq", steps),
+    ]
+
+    payload = {
+        "benchmark": "join_kernel",
+        "smoke": args.smoke,
+        "plan_cache_size": plan_cache_size(),
+        "workloads": workloads,
+    }
+    Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    failures = [w["name"] for w in workloads if not w["equivalent"]]
+    if failures:
+        print(f"EQUIVALENCE MISMATCH in: {', '.join(failures)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -19,6 +19,8 @@ from repro.datalog.adornment import Adornment, adorn_program
 from repro.datalog.qsq import QsqRewriting, qsq_rewrite, qsq_evaluate
 from repro.datalog.qsqr import QsqrEvaluator, qsqr_evaluate
 from repro.datalog.magic import magic_rewrite
+from repro.datalog.plan import (JoinPlan, compile_join_plan, clear_plan_cache,
+                                plan_cache_size)
 
 __all__ = [
     "Const", "Var", "Func", "Term",
@@ -31,4 +33,5 @@ __all__ = [
     "QsqRewriting", "qsq_rewrite", "qsq_evaluate",
     "QsqrEvaluator", "qsqr_evaluate",
     "magic_rewrite",
+    "JoinPlan", "compile_join_plan", "clear_plan_cache", "plan_cache_size",
 ]

@@ -17,15 +17,26 @@ from repro.datalog.term import Term, Var, is_ground, substitute, variables_of
 
 
 class Atom:
-    """An atom ``relation@peer(args)``; ``peer`` is ``None`` in local programs."""
+    """An atom ``relation@peer(args)``; ``peer`` is ``None`` in local programs.
 
-    __slots__ = ("relation", "args", "peer", "_hash")
+    ``key()``, ``variables()`` and ``is_ground()`` are computed once at
+    construction: the join kernel asks for them on every rule firing, and
+    groundness of the (interned) argument terms is O(1) per argument.
+    """
+
+    __slots__ = ("relation", "args", "peer", "_hash", "_key", "_vars")
 
     def __init__(self, relation: str, args: Iterable[Term], peer: str | None = None) -> None:
         self.relation = relation
         self.args = tuple(args)
         self.peer = peer
         self._hash = hash(("Atom", relation, self.args, peer))
+        self._key = (relation, peer)
+        variables: list[Var] = []
+        for arg in self.args:
+            if not arg._ground:
+                variables.extend(variables_of(arg))
+        self._vars = tuple(variables)
 
     @property
     def arity(self) -> int:
@@ -33,14 +44,14 @@ class Atom:
 
     def key(self) -> tuple[str, str | None]:
         """Identity of the relation this atom refers to: (name, peer)."""
-        return (self.relation, self.peer)
+        return self._key
 
     def is_ground(self) -> bool:
-        return all(is_ground(a) for a in self.args)
+        return not self._vars
 
-    def variables(self) -> Iterator[Var]:
-        for arg in self.args:
-            yield from variables_of(arg)
+    def variables(self) -> tuple[Var, ...]:
+        """The variables of the argument terms, left to right, with repetitions."""
+        return self._vars
 
     def substitute(self, binding: Mapping[Var, Term]) -> "Atom":
         return Atom(self.relation, (substitute(a, binding) for a in self.args), self.peer)

@@ -34,6 +34,8 @@ class Database:
         #: into it instead of scanning every relation
         self._change_log: list[RelationKey] = []
         self._size = 0
+        #: how many lazy secondary indices have been built (observability)
+        self.index_builds = 0
 
     # -- mutation ---------------------------------------------------------
 
@@ -42,6 +44,15 @@ class Database:
         tup = tuple(fact)
         if not all(is_ground(t) for t in tup):
             raise ValueError(f"fact {tup} for {key} is not ground")
+        return self.add_ground(key, tup)
+
+    def add_ground(self, key: RelationKey, tup: Fact) -> bool:
+        """Insert a fact the caller guarantees is an already-ground tuple.
+
+        The compiled join plans build head tuples from ground slot values,
+        so re-validating each term would only re-walk terms known ground;
+        this is the trusted fast path (the validating :meth:`add` wraps it).
+        """
         store = self._facts[key]
         if tup in store:
             return False
@@ -60,11 +71,38 @@ class Database:
         """Insert a ground atom as a fact."""
         if not atom.is_ground():
             raise ValueError(f"atom {atom} is not ground")
-        return self.add(atom.key(), atom.args)
+        return self.add_ground(atom.key(), atom.args)
 
-    def add_all(self, key: RelationKey, facts: Iterable[Sequence[Term]]) -> int:
-        """Insert many facts; returns how many were new."""
-        return sum(1 for f in facts if self.add(key, f))
+    def add_all(self, key: RelationKey, facts: Iterable[Sequence[Term]],
+                assume_ground: bool = False) -> int:
+        """Insert many facts; returns how many were new.
+
+        With ``assume_ground=True`` per-fact groundness validation is
+        skipped (the :meth:`copy` trick): the caller vouches that every
+        tuple is already ground, as with tuples arriving from a remote
+        peer's store via the reliable transport.
+        """
+        if not assume_ground:
+            return sum(1 for f in facts if self.add(key, f))
+        store = self._facts[key]
+        ordered = self._ordered[key]
+        registry = self._indices.get(key)
+        log = self._change_log
+        added = 0
+        for fact in facts:
+            tup = tuple(fact)
+            if tup in store:
+                continue
+            store.add(tup)
+            ordered.append(tup)
+            log.append(key)
+            added += 1
+            if registry:
+                for positions, index in registry.items():
+                    index_key = tuple(tup[i] for i in positions)
+                    index.setdefault(index_key, []).append(tup)
+        self._size += added
+        return added
 
     # -- lookup -----------------------------------------------------------
 
@@ -116,8 +154,17 @@ class Database:
                 values.append(arg)
         if not positions:
             return self.facts(key)
-        index = self._index(key, tuple(positions))
-        return index.get(tuple(values), ())
+        return self.index_lookup(key, tuple(positions), tuple(values))
+
+    def index_lookup(self, key: RelationKey, positions: tuple[int, ...],
+                     values: tuple[Term, ...]) -> Sequence[Fact]:
+        """Facts of ``key`` whose projection on ``positions`` equals ``values``.
+
+        This is the raw index probe used by compiled join plans, which
+        precompute ``positions`` at rule-compile time instead of
+        re-deriving the bound positions on every call.
+        """
+        return self._index(key, positions).get(values, ())
 
     def _index(self, key: RelationKey,
                positions: tuple[int, ...]) -> dict[tuple[Term, ...], list[Fact]]:
@@ -129,6 +176,7 @@ class Database:
                 index_key = tuple(fact[i] for i in positions)
                 index.setdefault(index_key, []).append(fact)
             registry[positions] = index
+            self.index_builds += 1
         return index
 
     # -- misc ---------------------------------------------------------------

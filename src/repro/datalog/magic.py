@@ -135,13 +135,14 @@ def _rewrite_rule(rule: Rule, adornment: Adornment, idb: set,
 
 
 def magic_evaluate(program: Program, query: Query, db: Database | None = None,
-                   budget: EvaluationBudget | None = None) -> tuple[set[Fact], Counters, Database]:
+                   budget: EvaluationBudget | None = None,
+                   compiled: bool = True) -> tuple[set[Fact], Counters, Database]:
     """Rewrite with Magic Sets and evaluate semi-naively; returns answers."""
     rewriting = magic_rewrite(program, query)
     work_db = db.copy() if db is not None else Database()
     if rewriting.seed is not None:
         work_db.add_atom(rewriting.seed)
-    evaluator = SemiNaiveEvaluator(rewriting.program, budget)
+    evaluator = SemiNaiveEvaluator(rewriting.program, budget, compiled=compiled)
     evaluator.run(work_db)
     answers = select(work_db, rewriting.answer_atom)
     counters = Counters()

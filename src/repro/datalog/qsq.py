@@ -246,7 +246,7 @@ class QsqResult:
 
 def qsq_evaluate(program: Program, query: Query, db: Database | None = None,
                  budget: EvaluationBudget | None = None,
-                 in_place: bool = False) -> QsqResult:
+                 in_place: bool = False, compiled: bool = True) -> QsqResult:
     """Rewrite ``program`` for ``query`` and evaluate semi-naively.
 
     ``db`` holds the EDB facts (program fact-rules are loaded too).  By
@@ -256,7 +256,7 @@ def qsq_evaluate(program: Program, query: Query, db: Database | None = None,
     work_db = db if (db is not None and in_place) else (db.copy() if db is not None else Database())
     if rewriting.seed is not None:
         work_db.add_atom(rewriting.seed)
-    evaluator = SemiNaiveEvaluator(rewriting.program, budget)
+    evaluator = SemiNaiveEvaluator(rewriting.program, budget, compiled=compiled)
     evaluator.run(work_db)
     answers = select(work_db, rewriting.answer_atom)
     counters = Counters()

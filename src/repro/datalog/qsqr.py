@@ -21,6 +21,8 @@ from dataclasses import dataclass, field
 
 from repro.datalog.adornment import Adornment
 from repro.datalog.database import Database, Fact, RelationKey
+from repro.datalog.plan import (PlanStats, QsqrRulePlan, QsqrStep, ineqs_hold,
+                                run_builder, run_fact_ops)
 from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget
 from repro.datalog.term import Term, Var, is_ground, substitute
@@ -47,11 +49,16 @@ class QsqrEvaluator:
     """Iterative QSQR over a program and an EDB store."""
 
     def __init__(self, program: Program,
-                 budget: EvaluationBudget | None = None) -> None:
+                 budget: EvaluationBudget | None = None,
+                 compiled: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
+        self.compiled = compiled
         self._idb: set[RelationKey] = program.idb_relations()
+        #: compiled per (rule id, bound head positions); evaluator-lifetime
+        self._plans: dict[tuple[int, tuple[int, ...]], QsqrRulePlan] = {}
+        self._plan_stats = PlanStats()
 
     def query(self, query: Query, db: Database) -> QsqrResult:
         """Evaluate ``query`` against ``db`` (program facts included)."""
@@ -94,6 +101,7 @@ class QsqrEvaluator:
                           sum(len(v) for v in answers.values()))
         self.counters.add("qsqr_demand_tuples",
                           sum(len(v) for v in demands.values()))
+        self._plan_stats.flush_into(self.counters)
 
         final = {f for f in answers.get(seed_key, set())
                  if match_tuple(atom.args, f, {})}
@@ -106,6 +114,21 @@ class QsqrEvaluator:
                         db: Database, answers: dict, demands: dict) -> None:
         relation, peer, pattern = key
         adornment = Adornment(pattern)
+        if self.compiled:
+            bound_positions = adornment.bound_positions()
+            for rule in self.program.rules_for(relation, peer):
+                # id-keyed: skips Rule.__eq__ on the per-demand hot path;
+                # the plan holds the rule strongly, pinning its id.
+                cache_key = (id(rule), bound_positions)
+                plan = self._plans.get(cache_key)
+                if plan is None:
+                    plan = QsqrRulePlan(rule, bound_positions, self._idb)
+                    self._plans[cache_key] = plan
+                    self._plan_stats.cache_misses += 1
+                else:
+                    self._plan_stats.cache_hits += 1
+                self._run_plan(plan, bound, db, answers, demands, key)
+            return
         for rule in self.program.rules_for(relation, peer):
             binding: dict[Var, Term] = {}
             ok = True
@@ -162,10 +185,101 @@ class QsqrEvaluator:
                 self._evaluate_body(rule, position + 1, extended, db,
                                     answers, demands, target)
 
+    # -- compiled demand processing ------------------------------------------------
+
+    def _run_plan(self, plan: QsqrRulePlan, bound: tuple[Term, ...],
+                  db: Database, answers: dict, demands: dict,
+                  target: AdornedKey) -> None:
+        """Run one compiled rule plan for one ground demand tuple.
+
+        Same join as :meth:`_evaluate_body`, but over slot arrays with
+        the demand keys, index positions and inequality schedule baked in
+        at compile time, and an explicit iterator stack instead of
+        recursion.
+        """
+        slots: list = [None] * plan.nslots
+        if not plan.match_demand(bound, slots):
+            return
+        steps = plan.steps
+        n = len(steps)
+        if n == 0:
+            self._emit_answer(plan, slots, answers, target)
+            return
+        iterators: list = [None] * n
+        ops_at: list = [None] * n
+        depth = 0
+        iterators[0], ops_at[0] = self._source(steps[0], db, slots,
+                                               answers, demands)
+        while True:
+            step = steps[depth]
+            ops = ops_at[depth]
+            matched = False
+            for fact in iterators[depth]:
+                if not run_fact_ops(ops, fact, slots):
+                    continue
+                if step.ineqs and not ineqs_hold(step.ineqs, slots):
+                    continue
+                matched = True
+                break
+            if not matched:
+                depth -= 1
+                if depth < 0:
+                    return
+                continue
+            if depth + 1 == n:
+                self._emit_answer(plan, slots, answers, target)
+                continue
+            depth += 1
+            iterators[depth], ops_at[depth] = self._source(
+                steps[depth], db, slots, answers, demands)
+
+    def _source(self, step: QsqrStep, db: Database, slots: list,
+                answers: dict, demands: dict):
+        stats = self._plan_stats
+        if step.is_idb:
+            # Register the sub-demand, then join against a snapshot of
+            # the answer table (recursive rules extend it mid-join;
+            # additions are picked up on the next global pass).
+            demand = tuple(run_builder(b, slots) for b in step.demand_builders)
+            demands.setdefault(step.sub_key, set()).add(demand)
+            source = list(answers.get(step.sub_key, ()))
+            stats.bindings_explored += len(source)
+            return iter(source), step.scan_ops
+        if step.index_positions:
+            if step.single_slot is not None:
+                values = (slots[step.single_slot],)
+            else:
+                values = tuple(run_builder(b, slots) for b in step.index_values)
+            bucket = db.index_lookup(step.key, step.index_positions, values)
+            if bucket:
+                stats.index_hits += 1
+            else:
+                stats.index_misses += 1
+            stats.bindings_explored += len(bucket)
+            return iter(bucket), step.residual_ops
+        facts = db.facts(step.key)
+        stats.full_scans += 1
+        stats.bindings_explored += len(facts)
+        return iter(facts), step.scan_ops
+
+    def _emit_answer(self, plan: QsqrRulePlan, slots: list, answers: dict,
+                     target: AdornedKey) -> None:
+        args = plan.head_args(slots)
+        if self.budget.prunes_fact(args):
+            self.counters.add("pruned_deep_facts")
+            return
+        table = answers.setdefault(target, set())
+        if args not in table:
+            table.add(args)
+            self.counters.add("facts_materialized")
+            if sum(len(v) for v in answers.values()) > self.budget.max_facts:
+                raise BudgetExceeded("facts", self.budget.max_facts)
+
 
 def qsqr_evaluate(program: Program, query: Query, db: Database | None = None,
-                  budget: EvaluationBudget | None = None) -> QsqrResult:
+                  budget: EvaluationBudget | None = None,
+                  compiled: bool = True) -> QsqrResult:
     """Convenience wrapper mirroring :func:`repro.datalog.qsq.qsq_evaluate`."""
     work_db = db.copy() if db is not None else Database()
-    evaluator = QsqrEvaluator(program, budget)
+    evaluator = QsqrEvaluator(program, budget, compiled=compiled)
     return evaluator.query(query, work_db)

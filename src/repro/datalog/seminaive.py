@@ -23,8 +23,9 @@ from typing import Sequence
 from repro.datalog.atom import Atom
 from repro.datalog.database import Database, Fact, RelationKey
 from repro.datalog.evalutil import derive_head, iter_rule_bindings
+from repro.datalog.plan import PlanStats, plan_for
 from repro.datalog.rule import Program, Query, Rule
-from repro.datalog.term import term_depth
+from repro.datalog.term import Term, term_depth
 from repro.errors import BudgetExceeded
 from repro.utils.counters import Counters
 
@@ -47,9 +48,13 @@ class EvaluationBudget:
 
     def prunes_atom(self, atom: Atom) -> bool:
         """True when the atom is over-deep and pruning mode is on."""
+        return self.prunes_fact(atom.args)
+
+    def prunes_fact(self, args: Sequence[Term]) -> bool:
+        """Depth check on a bare argument tuple (compiled-plan hot path)."""
         if self.max_term_depth is None:
             return False
-        depth = max((term_depth(a) for a in atom.args), default=0)
+        depth = max((term_depth(a) for a in args), default=0)
         if depth <= self.max_term_depth:
             return False
         if self.prune_depth:
@@ -70,10 +75,15 @@ class IncrementalEvaluator:
     cost time proportional to the *new* work, not to the whole history.
     """
 
-    def __init__(self, db: Database, budget: EvaluationBudget | None = None) -> None:
+    def __init__(self, db: Database, budget: EvaluationBudget | None = None,
+                 compiled: bool = True) -> None:
         self.db = db
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
+        self.compiled = compiled
+        self._plan_stats = PlanStats()
+        #: id-keyed plan map (see repro.datalog.plan.plan_for)
+        self._plans: dict = {}
         self._rules: list[Rule] = []
         self._seen_rules: set[Rule] = set()
         self._pending_rules: list[Rule] = []
@@ -126,10 +136,36 @@ class IncrementalEvaluator:
                 for rule, position in self._by_body.get(key, ()):
                     self._fire(rule, position, new)
             if not progressed:
+                self._plan_stats.flush_into(self.counters)
                 return
 
     def _fire(self, rule: Rule, delta_position: int | None,
               delta_facts: Sequence[Fact]) -> None:
+        if self.compiled:
+            plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+            derived_facts: list[Fact] = []
+            derivations = 0
+            prunes = 0
+            budget = self.budget
+            for slots in plan.bindings(self.db, delta_facts=delta_facts,
+                                       stats=self._plan_stats):
+                args = plan.head_args(slots)
+                derivations += 1
+                if budget.prunes_fact(args):
+                    prunes += 1
+                    continue
+                derived_facts.append(args)
+            if derivations:
+                self.counters.add("derivations", derivations)
+            if prunes:
+                self.counters.add("pruned_deep_facts", prunes)
+            key = plan.head_key
+            for args in derived_facts:
+                if self.db.add_ground(key, args):
+                    self.counters.add("facts_materialized")
+                    if self.db.total_facts() > budget.max_facts:
+                        raise BudgetExceeded("facts", budget.max_facts)
+            return
         derived: list[Atom] = []
         for binding in iter_rule_bindings(rule, self.db, delta_position=delta_position,
                                           delta_facts=delta_facts):
@@ -150,10 +186,15 @@ class SemiNaiveEvaluator:
     """Semi-naive fixpoint evaluation of a program over a database."""
 
     def __init__(self, program: Program,
-                 budget: EvaluationBudget | None = None) -> None:
+                 budget: EvaluationBudget | None = None,
+                 compiled: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
+        self.compiled = compiled
+        self._plan_stats = PlanStats()
+        #: id-keyed plan map (see repro.datalog.plan.plan_for)
+        self._plans: dict = {}
         self._idb: set[RelationKey] = program.idb_relations()
 
     def run(self, db: Database) -> Database:
@@ -184,6 +225,7 @@ class SemiNaiveEvaluator:
                     self._fire(rule, db, position, facts, next_delta)
             delta = next_delta
         self.counters.add("iterations", iterations)
+        self._plan_stats.flush_into(self.counters)
         return db
 
     def answers(self, db: Database, query: Query) -> set[Fact]:
@@ -199,6 +241,32 @@ class SemiNaiveEvaluator:
         # completes: inserting mid-join would extend the very fact lists
         # being iterated and make a single firing run away on recursive
         # rules with function symbols.
+        if self.compiled:
+            plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+            derived_facts: list[Fact] = []
+            derivations = 0
+            prunes = 0
+            budget = self.budget
+            for slots in plan.bindings(db, delta_facts=delta_facts,
+                                       stats=self._plan_stats):
+                args = plan.head_args(slots)
+                derivations += 1
+                if budget.prunes_fact(args):
+                    prunes += 1
+                    continue
+                derived_facts.append(args)
+            if derivations:
+                self.counters.add("derivations", derivations)
+            if prunes:
+                self.counters.add("pruned_deep_facts", prunes)
+            key = plan.head_key
+            for args in derived_facts:
+                if db.add_ground(key, args):
+                    self.counters.add("facts_materialized")
+                    out_delta[key].append(args)
+                    if db.total_facts() > budget.max_facts:
+                        raise BudgetExceeded("facts", budget.max_facts)
+            return
         derived: list[Atom] = []
         for binding in iter_rule_bindings(rule, db, delta_position=delta_position,
                                           delta_facts=delta_facts):

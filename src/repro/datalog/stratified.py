@@ -86,16 +86,19 @@ class StratifiedEvaluator:
     """Evaluates a stratified program stratum by stratum, semi-naively."""
 
     def __init__(self, program: Program,
-                 budget: EvaluationBudget | None = None) -> None:
+                 budget: EvaluationBudget | None = None,
+                 compiled: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
+        self.compiled = compiled
         self.strata = stratify(program)
 
     def run(self, db: Database) -> Database:
         """Evaluate all strata in order over the shared database."""
         for index, stratum in enumerate(self.strata):
-            evaluator = SemiNaiveEvaluator(stratum, self.budget)
+            evaluator = SemiNaiveEvaluator(stratum, self.budget,
+                                           compiled=self.compiled)
             evaluator.run(db)
             self.counters.merge(evaluator.counters)
             self.counters.add(f"stratum_{index}_rules", len(stratum))

@@ -3,13 +3,25 @@
 The paper departs from classical Datalog by allowing function symbols
 (Section 3, "Syntax"): they are needed to create the node identifiers of
 the Petri-net unfolding (the Skolem functions ``f``, ``g`` of Section 4.1
-and ``h`` of Section 4.2).  Terms are immutable, hashable and interned
-where cheap, because evaluation manipulates very large numbers of them.
+and ``h`` of Section 4.2).  Terms are immutable, hashable and
+**hash-consed**: constructing a term returns the canonical instance for
+its structure, so structurally equal terms are always the *same* object.
+Evaluation manipulates very large numbers of terms, and interning turns
+the equality checks in the join kernel into (mostly) pointer comparisons
+and makes repeated Skolem-term construction a cache lookup instead of a
+re-hash of the whole subterm tree.
+
+The intern tables hold weak references: terms that are no longer
+reachable from any database or binding are garbage-collected normally.
+Pickling round-trips through the constructors (``__reduce__``), so
+unpickled terms -- e.g. tuples shipped over the dQSQ transport -- are
+re-interned on arrival and identity-comparable with locally built ones.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Iterator, Mapping, Union
+from weakref import WeakValueDictionary
 
 Term = Union["Const", "Var", "Func"]
 
@@ -21,20 +33,33 @@ class Const:
     strings and ints.
     """
 
-    __slots__ = ("value", "_hash")
+    __slots__ = ("value", "_hash", "__weakref__")
 
-    #: groundness is structural and cached per class/instance (hot path)
+    #: groundness/depth are structural and cached per class/instance (hot path)
     _ground = True
+    _depth = 0
 
-    def __init__(self, value: object) -> None:
-        self.value = value
-        self._hash = hash(("Const", value))
+    _intern: "WeakValueDictionary[object, Const]" = WeakValueDictionary()
+
+    def __new__(cls, value: object) -> "Const":
+        self = cls._intern.get(value)
+        if self is None:
+            self = object.__new__(cls)
+            self.value = value
+            self._hash = hash(("Const", value))
+            cls._intern[value] = self
+        return self
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Const) and self.value == other.value
+        # Interning makes equality identity in practice; the structural
+        # fallback keeps the class robust against exotic construction.
+        return self is other or (isinstance(other, Const) and self.value == other.value)
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Const, (self.value,))
 
     def __repr__(self) -> str:
         return f"Const({self.value!r})"
@@ -48,19 +73,30 @@ class Const:
 class Var:
     """A variable, written with a leading uppercase letter in the surface syntax."""
 
-    __slots__ = ("name", "_hash")
+    __slots__ = ("name", "_hash", "__weakref__")
 
     _ground = False
+    _depth = 0
 
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._hash = hash(("Var", name))
+    _intern: "WeakValueDictionary[str, Var]" = WeakValueDictionary()
+
+    def __new__(cls, name: str) -> "Var":
+        self = cls._intern.get(name)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self._hash = hash(("Var", name))
+            cls._intern[name] = self
+        return self
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, Var) and self.name == other.name
+        return self is other or (isinstance(other, Var) and self.name == other.name)
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Var, (self.name,))
 
     def __repr__(self) -> str:
         return f"Var({self.name!r})"
@@ -77,20 +113,34 @@ class Func:
     configuration ids ``h(z, x)``.
     """
 
-    __slots__ = ("name", "args", "_hash", "_ground")
+    __slots__ = ("name", "args", "_hash", "_ground", "_depth", "__weakref__")
 
-    def __init__(self, name: str, args: Iterable[Term]) -> None:
-        self.name = name
-        self.args = tuple(args)
-        self._hash = hash(("Func", name, self.args))
-        self._ground = all(a._ground for a in self.args)
+    _intern: "WeakValueDictionary[tuple, Func]" = WeakValueDictionary()
+
+    def __new__(cls, name: str, args: Iterable[Term]) -> "Func":
+        args = tuple(args)
+        key = (name, args)
+        self = cls._intern.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            self.name = name
+            self.args = args
+            self._hash = hash(("Func", name, args))
+            self._ground = all(a._ground for a in args)
+            self._depth = 1 + max((a._depth for a in args), default=0)
+            cls._intern[key] = self
+        return self
 
     def __eq__(self, other: object) -> bool:
-        return (isinstance(other, Func) and self._hash == other._hash
-                and self.name == other.name and self.args == other.args)
+        return self is other or (
+            isinstance(other, Func) and self._hash == other._hash
+            and self.name == other.name and self.args == other.args)
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Func, (self.name, self.args))
 
     def __repr__(self) -> str:
         return f"Func({self.name!r}, {list(self.args)!r})"
@@ -98,6 +148,12 @@ class Func:
     def __str__(self) -> str:
         inner = ",".join(str(a) for a in self.args)
         return f"{self.name}({inner})"
+
+
+def intern_table_sizes() -> dict[str, int]:
+    """Live entries per intern table (observability for the bench layer)."""
+    return {"const": len(Const._intern), "var": len(Var._intern),
+            "func": len(Func._intern)}
 
 
 def is_ground(term: Term) -> bool:
@@ -110,13 +166,10 @@ def term_depth(term: Term) -> int:
 
     Used by evaluation budgets: bounding term depth bounds the depth of
     the unfolding constructed by the Section-4.1 rules (the paper's
-    Section 4.4 mentions exactly this gadget).
+    Section 4.4 mentions exactly this gadget).  Depth is computed once at
+    intern time, so this is an O(1) attribute read.
     """
-    if isinstance(term, Func):
-        if not term.args:
-            return 1
-        return 1 + max(term_depth(a) for a in term.args)
-    return 0
+    return term._depth
 
 
 def variables_of(term: Term) -> Iterator[Var]:

@@ -90,13 +90,17 @@ class DatalogDiagnosisEngine:
                  supervisor: str = SUPERVISOR,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
-                 use_termination_detector: bool = False) -> None:
+                 use_termination_detector: bool = False,
+                 compiled: bool = True) -> None:
         self.petri = petri
         self.mode = EvaluationMode.coerce(mode)
         self.supervisor = supervisor
         self.budget = budget or EvaluationBudget(max_facts=2_000_000)
         self.options = options or NetworkOptions()
         self.use_termination_detector = use_termination_detector
+        #: False selects the reference interpreter (`iter_rule_bindings`)
+        #: instead of compiled join plans -- the old-vs-new benchmark knob
+        self.compiled = compiled
 
     def diagnose(self, alarms: AlarmSequence) -> DatalogDiagnosisResult:
         encoder = SupervisorEncoder(self.petri, alarms, self.supervisor)
@@ -108,7 +112,8 @@ class DatalogDiagnosisEngine:
         transport_stats: dict[str, dict[str, int]] | None = None
         if self.mode is EvaluationMode.DQSQ:
             engine = DqsqEngine(program, budget=self.budget, options=self.options,
-                                use_termination_detector=self.use_termination_detector)
+                                use_termination_detector=self.use_termination_detector,
+                                compiled=self.compiled)
             result = engine.query(Query(query_atom))
             counters.merge(result.counters)
             answers = result.answers
@@ -123,13 +128,14 @@ class DatalogDiagnosisEngine:
                                      query_atom.args, None))
             if self.mode is EvaluationMode.QSQ:
                 qsq = qsq_evaluate(local, local_query, Database(),
-                                   budget=self.budget)
+                                   budget=self.budget, compiled=self.compiled)
                 counters.merge(qsq.counters)
                 answers = qsq.answers
                 events, conditions = _collect_nodes_from_adorned([qsq.database])
             else:
                 db = Database()
-                evaluator = SemiNaiveEvaluator(local, self.budget)
+                evaluator = SemiNaiveEvaluator(local, self.budget,
+                                               compiled=self.compiled)
                 evaluator.run(db)
                 counters.merge(evaluator.counters)
                 answers = select(db, local_query.atom)

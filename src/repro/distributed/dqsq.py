@@ -86,12 +86,13 @@ class _DqsqPeer:
 
     def __init__(self, name: str, rules: Sequence[Rule],
                  budget: EvaluationBudget,
-                 detector: DijkstraScholten | None = None) -> None:
+                 detector: DijkstraScholten | None = None,
+                 compiled: bool = True) -> None:
         self.name = name
         self.source_rules = Program(rules)
         self.db = Database()
         self.budget = budget
-        self.evaluator = IncrementalEvaluator(self.db, budget)
+        self.evaluator = IncrementalEvaluator(self.db, budget, compiled=compiled)
         self.detector = detector
         self.counters = Counters()
         self.processed: set[tuple[str, str]] = set()
@@ -122,7 +123,9 @@ class _DqsqPeer:
         if message.kind == KIND_FACTS:
             payload = message.payload
             key = (payload["relation"], payload["home"])
-            added = self.db.add_all(key, payload["tuples"])
+            # Shipped tuples come out of a peer's validated store (and are
+            # re-interned on unpickling), so skip per-fact groundness checks.
+            added = self.db.add_all(key, payload["tuples"], assume_ground=True)
             self.counters.add("tuples_received", added)
             if key[1] != self.name:
                 # Replicas of remote-homed relations must not be pushed
@@ -412,11 +415,13 @@ class DqsqEngine:
     def __init__(self, program: DDatalogProgram, edb: Database | None = None,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
-                 use_termination_detector: bool = False) -> None:
+                 use_termination_detector: bool = False,
+                 compiled: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.options = options or NetworkOptions()
         self.use_termination_detector = use_termination_detector
+        self.compiled = compiled
         self._edb = edb or Database()
 
     def query(self, query: Query, at_peer: str | None = None) -> DqsqResult:
@@ -436,14 +441,14 @@ class DqsqEngine:
         peers: dict[str, _DqsqPeer] = {}
         for name in sorted(names):
             peer = _DqsqPeer(name, self.program.rules_at(name), self.budget,
-                             detector=detector)
+                             detector=detector, compiled=self.compiled)
             peers[name] = peer
             network.register(name, peer)
         for key in self._edb.relations():
             relation, owner = key
             if owner is None:
                 raise DistributedError(f"EDB relation {relation} is not located")
-            peers[owner].db.add_all(key, self._edb.facts(key))
+            peers[owner].db.add_all(key, self._edb.facts(key), assume_ground=True)
 
         adornment = Adornment.from_atom(atom)
         seed = {
