@@ -8,6 +8,7 @@ Usage::
     python -m repro diagnose --net net.json --alarms "b@p1 a@p2 c@p1"
     python -m repro render --scenario figure1-bac            # DOT to stdout
     python -m repro experiments [E1 E6a ...]
+    python -m repro lint examples/figure3.dl --registered    # static analysis
 """
 
 from __future__ import annotations
@@ -150,6 +151,57 @@ def cmd_experiments(args) -> int:
     return 0
 
 
+def _print_lint_report(label: str, report) -> bool:
+    """Render one analysis report; returns True when it has errors."""
+    for diagnostic in report.diagnostics:
+        if diagnostic.span is not None:
+            line, column = diagnostic.span
+            location = f"{label}:{line}:{column}"
+        else:
+            location = label
+        print(f"{location}: {diagnostic.code} {diagnostic.slug} "
+              f"{diagnostic.severity}: {diagnostic.message}")
+        if diagnostic.rule is not None and diagnostic.span is None:
+            print(f"    rule: {diagnostic.rule}")
+        if diagnostic.suggestion:
+            print(f"    fix: {diagnostic.suggestion}")
+    print(f"{label}: {len(report.errors)} error(s), "
+          f"{len(report.warnings)} warning(s), {len(report.infos)} info(s)")
+    return bool(report.errors)
+
+
+def cmd_lint(args) -> int:
+    from repro.datalog.analysis import analyze
+    from repro.datalog.parser import parse_atom, parse_program
+    from repro.datalog.rule import Query, Rule
+
+    if not args.paths and not args.registered:
+        raise ReproError("provide program files and/or --registered")
+    query = Query(parse_atom(args.query)) if args.query else None
+    known_peers = ([p.strip() for p in args.peers.split(",") if p.strip()]
+                   if args.peers else None)
+    failed = False
+    for path in args.paths:
+        try:
+            with open(path) as handle:
+                text = handle.read()
+        except OSError as err:
+            raise ReproError(str(err)) from err
+        spans: dict[Rule, tuple[int, int]] = {}
+        program = parse_program(text, check=False, spans=spans)
+        report = analyze(program, query, known_peers=known_peers,
+                         depth_bounded=args.depth_bounded, spans=spans)
+        failed |= _print_lint_report(path, report)
+    if args.registered:
+        from repro.experiments.registry import registered_programs
+        for name, entry in sorted(registered_programs().items()):
+            report = analyze(entry.program, entry.query,
+                             known_peers=entry.known_peers,
+                             depth_bounded=entry.depth_bounded)
+            failed |= _print_lint_report(f"<registered:{name}>", report)
+    return 1 if failed else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -191,6 +243,24 @@ def build_parser() -> argparse.ArgumentParser:
     experiments = sub.add_parser("experiments", help="run experiment harness")
     experiments.add_argument("ids", nargs="*", help="experiment ids (default all)")
     experiments.set_defaults(func=cmd_experiments)
+
+    lint = sub.add_parser(
+        "lint", help="statically analyze (d)Datalog program files")
+    lint.add_argument("paths", nargs="*",
+                      help="program files in the repro text syntax")
+    lint.add_argument("--registered", action="store_true",
+                      help="also lint the registered paper programs "
+                           "(Figure 1 diagnosis, Figure 3, Figure 4 QSQ)")
+    lint.add_argument("--query", default="",
+                      help='query atom enabling dead-rule detection, '
+                           'e.g. \'r@r("1", Y)\'')
+    lint.add_argument("--peers", default="",
+                      help="comma-separated deployment peers enabling "
+                           "unknown-peer detection")
+    lint.add_argument("--depth-bounded", action="store_true",
+                      help="assume a Section-4.4 depth-bound gadget guards "
+                           "evaluation (downgrades DD301 to info)")
+    lint.set_defaults(func=cmd_lint)
     return parser
 
 

@@ -18,9 +18,12 @@ from repro.datalog.seminaive import SemiNaiveEvaluator, EvaluationBudget
 from repro.datalog.adornment import Adornment, adorn_program
 from repro.datalog.qsq import QsqRewriting, qsq_rewrite, qsq_evaluate
 from repro.datalog.qsqr import QsqrEvaluator, qsqr_evaluate
-from repro.datalog.magic import magic_rewrite
+from repro.datalog.magic import magic_rewrite, magic_evaluate
 from repro.datalog.plan import (JoinPlan, compile_join_plan, clear_plan_cache,
                                 plan_cache_size)
+from repro.datalog.analysis import (AnalysisReport, DependencyGraph, Diagnostic,
+                                    analyze, check_program)
+from repro.datalog.stratified import StratifiedEvaluator, has_negation, stratify
 
 __all__ = [
     "Const", "Var", "Func", "Term",
@@ -32,6 +35,9 @@ __all__ = [
     "Adornment", "adorn_program",
     "QsqRewriting", "qsq_rewrite", "qsq_evaluate",
     "QsqrEvaluator", "qsqr_evaluate",
-    "magic_rewrite",
+    "magic_rewrite", "magic_evaluate",
     "JoinPlan", "compile_join_plan", "clear_plan_cache", "plan_cache_size",
+    "AnalysisReport", "DependencyGraph", "Diagnostic",
+    "analyze", "check_program",
+    "StratifiedEvaluator", "has_negation", "stratify",
 ]

@@ -136,13 +136,21 @@ def _rewrite_rule(rule: Rule, adornment: Adornment, idb: set,
 
 def magic_evaluate(program: Program, query: Query, db: Database | None = None,
                    budget: EvaluationBudget | None = None,
-                   compiled: bool = True) -> tuple[set[Fact], Counters, Database]:
+                   compiled: bool = True,
+                   check: bool = True) -> tuple[set[Fact], Counters, Database]:
     """Rewrite with Magic Sets and evaluate semi-naively; returns answers."""
+    if check:
+        from repro.datalog.analysis import check_program
+        check_program(program, query, context="magic",
+                      depth_bounded=(budget is not None
+                                     and budget.max_term_depth is not None))
     rewriting = magic_rewrite(program, query)
     work_db = db.copy() if db is not None else Database()
     if rewriting.seed is not None:
         work_db.add_atom(rewriting.seed)
-    evaluator = SemiNaiveEvaluator(rewriting.program, budget, compiled=compiled)
+    # The rewriting is machine-generated from an already-checked program.
+    evaluator = SemiNaiveEvaluator(rewriting.program, budget, compiled=compiled,
+                                   check=False)
     evaluator.run(work_db)
     answers = select(work_db, rewriting.answer_atom)
     counters = Counters()

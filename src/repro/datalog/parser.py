@@ -132,13 +132,19 @@ class _Parser:
     def at_end(self) -> bool:
         return self._pos >= len(self._tokens)
 
-    def parse_program(self) -> Program:
+    def parse_program(self, check: bool = True,
+                      spans: dict[Rule, tuple[int, int]] | None = None) -> Program:
         program = Program()
         while not self.at_end():
-            program.add(self.parse_rule())
+            tok = self._peek()
+            span = (tok.line, tok.column) if tok is not None else None
+            rule = self.parse_rule(check=check)
+            if spans is not None and span is not None and rule not in spans:
+                spans[rule] = span
+            program.add(rule)
         return program
 
-    def parse_rule(self) -> Rule:
+    def parse_rule(self, check: bool = True) -> Rule:
         head = self.parse_atom()
         body: list[Atom] = []
         negated: list[Atom] = []
@@ -154,7 +160,7 @@ class _Parser:
                     continue
                 break
         self._expect(".")
-        return Rule(head, body, inequalities, negated)
+        return Rule(head, body, inequalities, negated, check=check)
 
     def _parse_body_item(self, body: list[Atom], negated: list[Atom],
                          inequalities: list[Inequality]) -> None:
@@ -246,15 +252,21 @@ class _Parser:
         raise ParseError(f"expected term, found {tok.text!r}", tok.line, tok.column)
 
 
-def parse_program(text: str) -> Program:
-    """Parse a whole program (facts and rules)."""
-    return _Parser(text).parse_program()
+def parse_program(text: str, check: bool = True,
+                  spans: dict[Rule, tuple[int, int]] | None = None) -> Program:
+    """Parse a whole program (facts and rules).
+
+    ``check=False`` admits unsafe rules for static analysis; ``spans``
+    (when given) is filled with each rule's ``(line, column)`` so that
+    ``repro lint`` can point diagnostics back into the source text.
+    """
+    return _Parser(text).parse_program(check=check, spans=spans)
 
 
-def parse_rule(text: str) -> Rule:
+def parse_rule(text: str, check: bool = True) -> Rule:
     """Parse a single rule (must end with a period)."""
     parser = _Parser(text)
-    rule = parser.parse_rule()
+    rule = parser.parse_rule(check=check)
     if not parser.at_end():
         tok = parser._peek()
         raise ParseError("trailing input after rule",

@@ -347,7 +347,7 @@ class JoinPlan:
 
     def _source(self, step: JoinStep, db: Database,
                 delta_facts: Sequence[Fact] | None, slots: list,
-                stats: PlanStats | None):
+                stats: PlanStats | None) -> tuple:
         if step.use_delta:
             facts: Sequence[Fact] = delta_facts or ()
             if stats is not None:
@@ -498,8 +498,10 @@ class QsqrStep:
                  "residual_ops", "index_positions", "index_values",
                  "single_slot", "ineqs")
 
-    def __init__(self, key, is_idb, sub_key, demand_builders, scan_ops,
-                 residual_ops, index_positions, index_values, ineqs) -> None:
+    def __init__(self, key: RelationKey, is_idb: bool, sub_key: tuple | None,
+                 demand_builders: tuple, scan_ops: tuple, residual_ops: tuple,
+                 index_positions: tuple, index_values: tuple,
+                 ineqs: tuple) -> None:
         self.key = key
         self.is_idb = is_idb
         self.sub_key = sub_key

@@ -246,17 +246,25 @@ class QsqResult:
 
 def qsq_evaluate(program: Program, query: Query, db: Database | None = None,
                  budget: EvaluationBudget | None = None,
-                 in_place: bool = False, compiled: bool = True) -> QsqResult:
+                 in_place: bool = False, compiled: bool = True,
+                 check: bool = True) -> QsqResult:
     """Rewrite ``program`` for ``query`` and evaluate semi-naively.
 
     ``db`` holds the EDB facts (program fact-rules are loaded too).  By
     default the database is copied so the caller's store is untouched.
     """
+    if check:
+        from repro.datalog.analysis import check_program
+        check_program(program, query, context="qsq",
+                      depth_bounded=(budget is not None
+                                     and budget.max_term_depth is not None))
     rewriting = qsq_rewrite(program, query)
     work_db = db if (db is not None and in_place) else (db.copy() if db is not None else Database())
     if rewriting.seed is not None:
         work_db.add_atom(rewriting.seed)
-    evaluator = SemiNaiveEvaluator(rewriting.program, budget, compiled=compiled)
+    # The rewriting is machine-generated from an already-checked program.
+    evaluator = SemiNaiveEvaluator(rewriting.program, budget, compiled=compiled,
+                                   check=False)
     evaluator.run(work_db)
     answers = select(work_db, rewriting.answer_atom)
     counters = Counters()

@@ -50,11 +50,16 @@ class QsqrEvaluator:
 
     def __init__(self, program: Program,
                  budget: EvaluationBudget | None = None,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True, check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
         self.compiled = compiled
+        if check:
+            from repro.datalog.analysis import check_program
+            check_program(program, context="qsqr",
+                          depth_bounded=self.budget.max_term_depth is not None,
+                          counters=self.counters)
         self._idb: set[RelationKey] = program.idb_relations()
         #: compiled per (rule id, bound head positions); evaluator-lifetime
         self._plans: dict[tuple[int, tuple[int, ...]], QsqrRulePlan] = {}
@@ -234,7 +239,7 @@ class QsqrEvaluator:
                 steps[depth], db, slots, answers, demands)
 
     def _source(self, step: QsqrStep, db: Database, slots: list,
-                answers: dict, demands: dict):
+                answers: dict, demands: dict) -> tuple:
         stats = self._plan_stats
         if step.is_idb:
             # Register the sub-demand, then join against a snapshot of
@@ -278,8 +283,8 @@ class QsqrEvaluator:
 
 def qsqr_evaluate(program: Program, query: Query, db: Database | None = None,
                   budget: EvaluationBudget | None = None,
-                  compiled: bool = True) -> QsqrResult:
+                  compiled: bool = True, check: bool = True) -> QsqrResult:
     """Convenience wrapper mirroring :func:`repro.datalog.qsq.qsq_evaluate`."""
     work_db = db.copy() if db is not None else Database()
-    evaluator = QsqrEvaluator(program, budget, compiled=compiled)
+    evaluator = QsqrEvaluator(program, budget, compiled=compiled, check=check)
     return evaluator.query(query, work_db)

@@ -30,13 +30,17 @@ class Rule:
 
     def __init__(self, head: Atom, body: Iterable[Atom] = (),
                  inequalities: Iterable[Inequality] = (),
-                 negated: Iterable[Atom] = ()) -> None:
+                 negated: Iterable[Atom] = (), check: bool = True) -> None:
         self.head = head
         self.body = tuple(body)
         self.inequalities = tuple(inequalities)
         self.negated = tuple(negated)
         self._hash = hash(("Rule", head, self.body, self.inequalities, self.negated))
-        self._validate()
+        # ``check=False`` admits unsafe rules so that the static analyzer
+        # (repro.datalog.analysis) can inspect them and report structured
+        # diagnostics instead of a construction-time exception.
+        if check:
+            self._validate()
 
     def _validate(self) -> None:
         body_vars = set()
@@ -71,10 +75,11 @@ class Rule:
         return out
 
     def substitute(self, binding: Mapping[Var, Term]) -> "Rule":
+        # Substitution preserves (un)safety, so re-validation is skipped.
         return Rule(self.head.substitute(binding),
                     (a.substitute(binding) for a in self.body),
                     (c.substitute(binding) for c in self.inequalities),
-                    (a.substitute(binding) for a in self.negated))
+                    (a.substitute(binding) for a in self.negated), check=False)
 
     def rename_apart(self, suffix: str) -> "Rule":
         """Rename every variable by appending ``suffix`` (for unification)."""
@@ -197,7 +202,7 @@ class Program:
             out.add(Rule(rule.head.with_peer(None),
                          (a.with_peer(None) for a in rule.body),
                          rule.inequalities,
-                         (a.with_peer(None) for a in rule.negated)))
+                         (a.with_peer(None) for a in rule.negated), check=False))
         return out
 
     def qualify_relations(self) -> "Program":
@@ -209,7 +214,8 @@ class Program:
         out = Program()
         for rule in self._rules:
             out.add(Rule(requalify(rule.head), (requalify(a) for a in rule.body),
-                         rule.inequalities, (requalify(a) for a in rule.negated)))
+                         rule.inequalities, (requalify(a) for a in rule.negated),
+                         check=False))
         return out
 
     def __len__(self) -> int:

@@ -187,11 +187,16 @@ class SemiNaiveEvaluator:
 
     def __init__(self, program: Program,
                  budget: EvaluationBudget | None = None,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True, check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
         self.compiled = compiled
+        if check:
+            from repro.datalog.analysis import check_program
+            check_program(program, context="seminaive",
+                          depth_bounded=self.budget.max_term_depth is not None,
+                          counters=self.counters)
         self._plan_stats = PlanStats()
         #: id-keyed plan map (see repro.datalog.plan.plan_for)
         self._plans: dict = {}

@@ -58,7 +58,7 @@ class Const:
     def __hash__(self) -> int:
         return self._hash
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (Const, (self.value,))
 
     def __repr__(self) -> str:
@@ -95,7 +95,7 @@ class Var:
     def __hash__(self) -> int:
         return self._hash
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (Var, (self.name,))
 
     def __repr__(self) -> str:
@@ -139,7 +139,7 @@ class Func:
     def __hash__(self) -> int:
         return self._hash
 
-    def __reduce__(self):
+    def __reduce__(self) -> tuple:
         return (Func, (self.name, self.args))
 
     def __repr__(self) -> str:

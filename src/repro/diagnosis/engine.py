@@ -22,6 +22,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from repro.datalog.analysis import check_program
 from repro.datalog.database import Database, Fact
 from repro.datalog.qsq import qsq_evaluate
 from repro.datalog.rule import Query
@@ -108,12 +109,21 @@ class DatalogDiagnosisEngine:
         query_atom = encoder.query_atom()
         counters = Counters()
 
+        # Static analysis runs once here, fail-fast; the engines below get
+        # ``check=False`` so the program is not re-analyzed per engine.
+        check_program(
+            program.program, Query(query_atom), context=f"diagnose[{self.mode.value}]",
+            known_peers=set(program.peers()) | {self.supervisor},
+            depth_bounded=self.budget.max_term_depth is not None,
+            escalate=("DD403",) if self.mode is EvaluationMode.DQSQ else (),
+            counters=counters)
+
         partial = False
         transport_stats: dict[str, dict[str, int]] | None = None
         if self.mode is EvaluationMode.DQSQ:
             engine = DqsqEngine(program, budget=self.budget, options=self.options,
                                 use_termination_detector=self.use_termination_detector,
-                                compiled=self.compiled)
+                                compiled=self.compiled, check=False)
             result = engine.query(Query(query_atom))
             counters.merge(result.counters)
             answers = result.answers
@@ -128,14 +138,16 @@ class DatalogDiagnosisEngine:
                                      query_atom.args, None))
             if self.mode is EvaluationMode.QSQ:
                 qsq = qsq_evaluate(local, local_query, Database(),
-                                   budget=self.budget, compiled=self.compiled)
+                                   budget=self.budget, compiled=self.compiled,
+                                   check=False)
                 counters.merge(qsq.counters)
                 answers = qsq.answers
                 events, conditions = _collect_nodes_from_adorned([qsq.database])
             else:
                 db = Database()
                 evaluator = SemiNaiveEvaluator(local, self.budget,
-                                               compiled=self.compiled)
+                                               compiled=self.compiled,
+                                               check=False)
                 evaluator.run(db)
                 counters.merge(evaluator.counters)
                 answers = select(db, local_query.atom)

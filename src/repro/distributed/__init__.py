@@ -16,6 +16,7 @@ from repro.distributed.ddatalog import DDatalogProgram, global_translation
 from repro.distributed.naive_dist import DistributedNaiveEngine
 from repro.distributed.dqsq import DqsqEngine, DqsqResult
 from repro.distributed.termination import DijkstraScholten
+from repro.distributed.analysis import check_locality
 
 __all__ = [
     "Network", "Message", "NetworkOptions", "FaultPlan",
@@ -23,4 +24,5 @@ __all__ = [
     "DistributedNaiveEngine",
     "DqsqEngine", "DqsqResult",
     "DijkstraScholten",
+    "check_locality",
 ]

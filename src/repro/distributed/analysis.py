@@ -1,0 +1,83 @@
+"""Located-atom analysis passes for dDatalog programs.
+
+dQSQ (Figure 5) evaluates a rule at the peer of its head and delegates
+the *remainder* of the body — everything from the first non-local atom
+on — to that atom's peer.  That scheme is only sound when every body
+atom names a peer at all (otherwise there is nowhere to delegate to),
+when the named peers exist in the deployment, and when the rule carries
+no negated atoms (the dQSQ rewriting walks ``rule.body`` and
+``rule.inequalities`` only, silently dropping ``rule.negated``, and the
+distributed naive engine never subscribes to negated atoms).
+
+These passes are invoked lazily from :func:`repro.datalog.analysis.analyze`
+whenever the program mentions peers; keeping them here keeps
+``repro.datalog`` free of distributed-layer concerns.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable
+
+from repro.datalog.analysis import Diagnostic, make_diagnostic
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datalog.rule import Program
+
+
+def check_locality(program: "Program",
+                   known_peers: Iterable[str] | None = None) -> list[Diagnostic]:
+    """Distributability of located rules: DD401 / DD402 / DD403.
+
+    DD401 (error): a rule mixing located and unlocated atoms is not
+    localizable — dQSQ cannot decide where an unlocated atom lives, and
+    ``strip_peers``/``qualify_relations`` would silently merge it with
+    every peer's copy.  Fully located and fully unlocated rules are both
+    fine (the latter form a local program evaluated wholesale).
+
+    DD402 (warning): an atom located at a peer outside ``known_peers``
+    can never be answered by the deployment; reported only when a
+    deployment is given.
+
+    DD403 (warning): a located rule with negated atoms — the dQSQ
+    remainder rewriting drops negation silently and the distributed
+    naive engine never activates on negated subscriptions, so the rule's
+    distributed semantics differ from its stratified local semantics.
+    The distributed engines escalate this code to an error.
+    """
+    peers = set(known_peers) if known_peers is not None else None
+    out: list[Diagnostic] = []
+    for rule in program:
+        atoms = [rule.head, *rule.body, *rule.negated]
+        located = [a for a in atoms if a.peer is not None]
+        unlocated = [a for a in atoms if a.peer is None]
+        if located and unlocated:
+            sample = unlocated[0] if rule.head.peer is not None else rule.head
+            out.append(make_diagnostic(
+                "DD401",
+                f"rule mixes located and unlocated atoms ({sample} carries "
+                f"no peer): it cannot be localized for distributed "
+                f"evaluation",
+                rule=rule,
+                suggestion="locate every atom at a peer (R@peer) or none"))
+        if peers is not None:
+            for atom in located:
+                if atom.peer not in peers:
+                    out.append(make_diagnostic(
+                        "DD402",
+                        f"atom {atom} is located at unknown peer "
+                        f"{atom.peer!r} (deployment: "
+                        f"{', '.join(sorted(peers)) or 'empty'})",
+                        rule=rule,
+                        suggestion="add the peer to the deployment or fix "
+                                   "the peer name"))
+        if located and rule.negated:
+            out.append(make_diagnostic(
+                "DD403",
+                f"located rule negates {rule.negated[0]}: dQSQ remainder "
+                f"delegation drops negated atoms, so the distributed "
+                f"result would ignore the negation",
+                rule=rule,
+                suggestion="define the complement positively (as the paper "
+                           "does for notCausal/notConf) or evaluate the "
+                           "stratified program locally"))
+    return out

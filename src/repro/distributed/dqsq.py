@@ -416,13 +416,21 @@ class DqsqEngine:
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
                  use_termination_detector: bool = False,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True, check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.options = options or NetworkOptions()
         self.use_termination_detector = use_termination_detector
         self.compiled = compiled
         self._edb = edb or Database()
+        if check:
+            from repro.datalog.analysis import check_program
+            # DD403 escalates to an error here: the remainder rewriting
+            # walks body+inequalities only, so a negated atom would be
+            # silently ignored rather than evaluated.
+            check_program(program.program, context="dqsq",
+                          depth_bounded=self.budget.max_term_depth is not None,
+                          escalate=("DD403",))
 
     def query(self, query: Query, at_peer: str | None = None) -> DqsqResult:
         """Evaluate ``query``; ``at_peer`` is where it is posed (defaults to

@@ -131,11 +131,19 @@ class DistributedNaiveEngine:
 
     def __init__(self, program: DDatalogProgram, edb: Database | None = None,
                  budget: EvaluationBudget | None = None,
-                 options: NetworkOptions | None = None) -> None:
+                 options: NetworkOptions | None = None,
+                 check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.options = options or NetworkOptions()
         self._edb = edb or Database()
+        if check:
+            from repro.datalog.analysis import check_program
+            # DD403 escalates to an error here: peers never subscribe to
+            # negated atoms, so the negation would be silently ignored.
+            check_program(program.program, context="naive-dist",
+                          depth_bounded=self.budget.max_term_depth is not None,
+                          escalate=("DD403",))
 
     def query(self, query: Query) -> NaiveDistResult:
         """Evaluate ``query`` (whose atom must be located) to fixpoint."""

@@ -38,6 +38,19 @@ class ValidationError(DatalogError):
     """
 
 
+class ProgramAnalysisError(ValidationError):
+    """Raised when static analysis finds errors in a program.
+
+    Carries the structured :class:`repro.datalog.analysis.Diagnostic`
+    records that caused the failure; the exception message embeds their
+    rendered form so the failure is self-explanatory without catching.
+    """
+
+    def __init__(self, message: str, diagnostics: tuple = ()):
+        super().__init__(message)
+        self.diagnostics = tuple(diagnostics)
+
+
 class BudgetExceeded(ReproError):
     """Raised when an evaluation exceeds its configured resource budget.
 

@@ -50,8 +50,13 @@ class ExperimentResult:
 
 def run_all(only: Sequence[str] | None = None,
             verbose: bool = True) -> list[ExperimentResult]:
-    """Run all (or the selected) experiments in registry order."""
-    from repro.experiments.registry import EXPERIMENTS
+    """Run all (or the selected) experiments in registry order.
+
+    The registered paper programs are linted first: an analyzer error in
+    any of them aborts the run before any experiment starts.
+    """
+    from repro.experiments.registry import EXPERIMENTS, lint_registered
+    lint_registered()
     results = []
     for experiment_id, runner in EXPERIMENTS.items():
         if only and experiment_id not in only:

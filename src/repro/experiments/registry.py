@@ -8,9 +8,9 @@ Every function is deterministic (fixed seeds) and returns an
 from __future__ import annotations
 
 import time
-from typing import Callable
+from typing import Callable, NamedTuple
 
-from repro.datalog import (Database, EvaluationBudget, Query,
+from repro.datalog import (Database, EvaluationBudget, Program, Query,
                            SemiNaiveEvaluator, NaiveEvaluator, parse_atom,
                            parse_program, qsq_evaluate, qsq_rewrite)
 from repro.datalog.atom import Atom
@@ -549,3 +549,62 @@ EXPERIMENTS: dict[str, Callable[[], ExperimentResult]] = {
     "A4": a4_qsq_vs_magic,
     "A5": a5_qsq_rewriting_vs_qsqr,
 }
+
+
+class RegisteredProgram(NamedTuple):
+    """A paper program in analyzable form, for ``repro lint --registered``."""
+
+    program: Program
+    query: Query | None
+    known_peers: frozenset[str] | None
+    depth_bounded: bool
+
+
+def registered_programs() -> dict[str, RegisteredProgram]:
+    """The Figure 1/3/4 programs the harness evaluates.
+
+    Each entry carries the query and deployment context the experiments
+    use, so the static analyzer sees the programs exactly as the engines
+    will.
+    """
+    from repro.datalog.qsq import qsq_rewrite
+    from repro.diagnosis.supervisor import SupervisorEncoder
+
+    out: dict[str, RegisteredProgram] = {}
+
+    figure3 = parse_program(FIGURE3_TEXT)
+    out["figure3"] = RegisteredProgram(
+        figure3, Query(parse_atom('r@r("1", Y)')),
+        frozenset(figure3.peers()), False)
+
+    local = figure3.qualify_relations().strip_peers()
+    local_query = Query(Atom("r@r", parse_atom('q("1", Y)').args, None))
+    rewriting = qsq_rewrite(local, local_query)
+    out["figure4-qsq"] = RegisteredProgram(
+        rewriting.program, Query(rewriting.answer_atom), None, False)
+
+    petri = figure1_net()
+    alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+    encoder = SupervisorEncoder(petri, alarms)
+    program = encoder.program()
+    out["figure1-diagnosis"] = RegisteredProgram(
+        program.program, Query(encoder.query_atom()),
+        frozenset(set(program.peers()) | {encoder.supervisor}), False)
+    return out
+
+
+def lint_registered(counters=None) -> None:
+    """Fail-fast lint of every registered paper program.
+
+    The harness calls this before running experiments; a registered
+    program with analyzer errors raises
+    :class:`~repro.errors.ProgramAnalysisError` up front.
+    """
+    from repro.datalog.analysis import check_program
+
+    for name, entry in sorted(registered_programs().items()):
+        check_program(entry.program, entry.query,
+                      context=f"registered[{name}]",
+                      known_peers=entry.known_peers,
+                      depth_bounded=entry.depth_bounded,
+                      counters=counters)

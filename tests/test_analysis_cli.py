@@ -1,0 +1,112 @@
+"""Tests for the `repro lint` CLI subcommand."""
+
+import pathlib
+
+from repro.cli import main
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def write_program(tmp_path, text, name="prog.dl"):
+    path = tmp_path / name
+    path.write_text(text)
+    return str(path)
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            t(X, Y) :- e(X, Y).
+            t(X, Z) :- e(X, Y), t(Y, Z).
+            e("a", "b").
+        """)
+        assert main(["lint", path]) == 0
+        out = capsys.readouterr().out
+        assert "0 error(s)" in out
+
+    def test_unsafe_variable_fails_with_code_and_span(self, tmp_path, capsys):
+        path = write_program(tmp_path, 'p(X, Y) :- q(X).\nq("a").\n')
+        assert main(["lint", path]) == 1
+        out = capsys.readouterr().out
+        assert "DD101 unsafe-variable" in out
+        # span points at the offending rule's source line
+        assert f"{path}:1:1" in out
+
+    def test_unstratified_negation_fails(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            win(X) :- move(X, Y), not win(Y).
+            move("a", "b").
+        """)
+        assert main(["lint", path]) == 1
+        assert "DD201 unstratified-negation" in capsys.readouterr().out
+
+    def test_arity_clash_fails(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            p(X) :- q(X).
+            p(X, X) :- q(X).
+            q("a").
+        """)
+        assert main(["lint", path]) == 1
+        assert "DD103 arity-mismatch" in capsys.readouterr().out
+
+    def test_non_localizable_rule_fails(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            r@p(X) :- s@p(X), t(X).
+            s@p("1").
+            t("1").
+        """)
+        assert main(["lint", path]) == 1
+        assert "DD401 mixed-locality" in capsys.readouterr().out
+
+    def test_unguarded_depth_growth_warns(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            tree(f(X, X)) :- tree(X).
+            tree("leaf").
+        """)
+        # A warning, not an error: exit 0 but the code is reported.
+        assert main(["lint", path]) == 0
+        out = capsys.readouterr().out
+        assert "DD301 unbounded-term-growth warning" in out
+
+    def test_depth_bounded_flag_downgrades(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            tree(f(X, X)) :- tree(X).
+            tree("leaf").
+        """)
+        assert main(["lint", path, "--depth-bounded"]) == 0
+        out = capsys.readouterr().out
+        assert "DD301 unbounded-term-growth info" in out
+
+    def test_query_enables_dead_rule_detection(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            alive(X) :- e(X).
+            dead(X) :- e(X).
+            e("1").
+        """)
+        assert main(["lint", path, "--query", "alive(X)"]) == 0
+        assert "DD501 unreachable-rule" in capsys.readouterr().out
+
+    def test_peers_enables_unknown_peer_detection(self, tmp_path, capsys):
+        path = write_program(tmp_path, """
+            r@p(X) :- s@q(X).
+            s@q("1").
+        """)
+        assert main(["lint", path, "--peers", "p"]) == 0
+        assert "DD402 unknown-peer" in capsys.readouterr().out
+
+    def test_registered_programs_lint_clean(self, capsys):
+        assert main(["lint", "--registered"]) == 0
+        out = capsys.readouterr().out
+        for name in ("figure1-diagnosis", "figure3", "figure4-qsq"):
+            assert f"<registered:{name}>: 0 error(s)" in out
+
+    def test_no_input_is_an_error(self, capsys):
+        assert main(["lint"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_is_an_error(self, capsys):
+        assert main(["lint", "/nonexistent/prog.dl"]) == 2
+
+    def test_example_files_lint_clean(self, capsys):
+        assert main(["lint", str(EXAMPLES / "figure3.dl"),
+                     str(EXAMPLES / "transitive_closure.dl")]) == 0
