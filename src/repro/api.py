@@ -77,6 +77,9 @@ class DiagnosisOutcome(Protocol):
     @property
     def partial(self) -> bool: ...
 
+    @property
+    def peer_report(self) -> dict[str, dict[str, int | bool]] | None: ...
+
 
 def diagnose(petri: PetriNet, alarms: AlarmSequence,
              method: DiagnosisMethod | str = DiagnosisMethod.DQSQ, *,

@@ -9,6 +9,8 @@ Usage::
     python -m repro render --scenario figure1-bac            # DOT to stdout
     python -m repro experiments [E1 E6a ...]
     python -m repro lint examples/figure3.dl --registered    # static analysis
+    python -m repro chaos --schedules 30 --max-deliveries 500
+    python -m repro diagnose --scenario figure1-bac --crash p1@2 --restart-after 6
 """
 
 from __future__ import annotations
@@ -18,7 +20,7 @@ import sys
 
 from repro.api import DiagnosisMethod, diagnose
 from repro.diagnosis import AlarmSequence
-from repro.distributed.network import FaultPlan, NetworkOptions
+from repro.distributed.network import FaultPlan, NetworkOptions, PeerFaultPlan
 from repro.errors import ReproError
 from repro.petri.io import petri_from_json, petri_to_dot
 from repro.workloads import SCENARIOS, get_scenario
@@ -53,10 +55,31 @@ def cmd_list_scenarios(_args) -> int:
     return 0
 
 
+def _parse_crash_spec(text: str) -> dict[str, tuple[int, ...]]:
+    """Parse ``"p1@2,p2@5"`` into a PeerFaultPlan.crash_at mapping."""
+    crash_at: dict[str, list[int]] = {}
+    for token in text.split(","):
+        token = token.strip()
+        if not token:
+            continue
+        peer, sep, index = token.partition("@")
+        if not sep or not peer or not index.isdigit():
+            raise ReproError(f"bad crash token {token!r}; expected peer@k")
+        crash_at.setdefault(peer, []).append(int(index))
+    return {peer: tuple(sorted(ks)) for peer, ks in crash_at.items()}
+
+
 def _network_options(args) -> NetworkOptions:
+    peer_fault = PeerFaultPlan()
+    crash_spec = getattr(args, "crash", "")
+    if crash_spec:
+        peer_fault = PeerFaultPlan(
+            crash_at=_parse_crash_spec(crash_spec),
+            restart_after_deliveries=getattr(args, "restart_after", None))
     try:
         return NetworkOptions(seed=args.seed,
-                              fault=FaultPlan(drop_probability=args.drop))
+                              fault=FaultPlan(drop_probability=args.drop),
+                              peer_fault=peer_fault)
     except ValueError as err:
         raise ReproError(str(err)) from err
 
@@ -77,16 +100,28 @@ def cmd_diagnose(args) -> int:
               f"retransmits={counters['net.retransmits']} "
               f"acks={counters['net.acks']} "
               f"latency_max={counters['net.delivery_latency_max']}")
+    if args.crash and args.mode == "dqsq":
+        counters = result.counters
+        print("recovery: "
+              f"crashes={counters['recovery.crashes']} "
+              f"restarts={counters['recovery.restarts']} "
+              f"checkpoints_restored={counters['recovery.checkpoints_restored']} "
+              f"replayed={counters['recovery.deliveries_replayed']}")
     if result.partial:
-        print("WARNING: transport gave up before quiescence; the diagnosis "
-              "set below is a partial (lower-bound) result")
+        print("WARNING: the run degraded before completing; the diagnosis "
+              "set below is a sound partial (lower-bound) result")
         for channel, stats in (getattr(result, "transport_stats", None) or {}).items():
             line = ", ".join(f"{k}={v}" for k, v in sorted(stats.items()) if v)
             print(f"  {channel}: {line}")
+        for peer, info in (result.peer_report or {}).items():
+            if info["permanently_down"]:
+                print(f"  peer {peer}: DOWN permanently "
+                      f"(crashes={info['crashes']}, "
+                      f"held_frames={info['held_frames']})")
     if not diagnoses:
         if result.partial:
-            print("no explanation found before the transport gave up "
-                  "(inconclusive; lower --drop or raise the retry budget)")
+            print("no explanation found before the run degraded "
+                  "(inconclusive; lower --drop or schedule a restart)")
         else:
             print("no explanation: the sequence is inconsistent with the model")
         return 1
@@ -202,6 +237,26 @@ def cmd_lint(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_chaos(args) -> int:
+    from repro.distributed.chaos import ChaosConfig, run_chaos
+
+    try:
+        config = ChaosConfig(schedules=args.schedules, seed=args.seed,
+                             problem=args.problem,
+                             max_deliveries=args.max_deliveries,
+                             max_drop=args.max_drop)
+    except ValueError as err:
+        raise ReproError(str(err)) from err
+    report = run_chaos(config)
+    if args.verbose:
+        for outcome in report.outcomes:
+            mark = "!" if outcome.violation else " "
+            print(f" {mark} [{outcome.index:3d}] {outcome.status:9s} "
+                  f"{outcome.description}")
+    print(report.render())
+    return 0 if report.ok() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,6 +287,14 @@ def build_parser() -> argparse.ArgumentParser:
                                "(Section 4.4 hidden-transition diagnosis)")
     diagnose.add_argument("--hidden-budget", type=int, default=2,
                           help="extra hidden events allowed per explanation")
+    diagnose.add_argument("--crash", default="",
+                          help="comma-separated peer crash points, e.g. "
+                               "'p1@2' crashes p1 instead of processing its "
+                               "2nd delivery (dqsq mode)")
+    diagnose.add_argument("--restart-after", type=int, default=None,
+                          help="deliveries until a crashed peer restarts "
+                               "from its checkpoint (omit = permanent death "
+                               "-> degraded partial diagnosis)")
     diagnose.set_defaults(func=cmd_diagnose)
 
     render = sub.add_parser("render", help="emit Graphviz DOT for a net")
@@ -261,6 +324,25 @@ def build_parser() -> argparse.ArgumentParser:
                       help="assume a Section-4.4 depth-bound gadget guards "
                            "evaluation (downgrades DD301 to info)")
     lint.set_defaults(func=cmd_lint)
+
+    chaos = sub.add_parser(
+        "chaos", help="run seeded randomized fault schedules and check "
+                      "the recovery soundness invariants")
+    chaos.add_argument("--schedules", type=int, default=100,
+                       help="number of seeded schedules to run")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign seed (schedule i derives from seed+i)")
+    chaos.add_argument("--problem", default="figure3",
+                       help="'figure3' (fast dQSQ query) or a diagnosis "
+                            "scenario name such as 'figure1-bac'")
+    chaos.add_argument("--max-deliveries", type=int, default=20_000,
+                       help="per-run delivery budget (exceeding it aborts "
+                            "the schedule, which is not a violation)")
+    chaos.add_argument("--max-drop", type=float, default=0.25,
+                       help="upper bound for sampled drop probabilities")
+    chaos.add_argument("--verbose", action="store_true",
+                       help="print one line per schedule")
+    chaos.set_defaults(func=cmd_chaos)
     return parser
 
 

@@ -49,6 +49,11 @@ class BruteforceResult:
         """Brute force runs in-process; never partial."""
         return False
 
+    @property
+    def peer_report(self) -> dict[str, dict[str, int | bool]] | None:
+        """In-process: there are no peers to fail."""
+        return None
+
 
 def bruteforce_diagnosis(petri: PetriNet, alarms: AlarmSequence,
                          hidden: frozenset[str] = frozenset(),

@@ -56,6 +56,11 @@ class DedicatedResult:
         """The dedicated algorithm runs in-process; never partial."""
         return False
 
+    @property
+    def peer_report(self) -> dict[str, dict[str, int | bool]] | None:
+        """In-process: there are no peers to fail."""
+        return None
+
 
 class DedicatedDiagnoser:
     """[8]'s product-unfolding diagnoser."""

@@ -75,13 +75,17 @@ class DatalogDiagnosisResult:
     materialized_conditions: frozenset[str]
     counters: Counters
     answers: set[Fact] = field(repr=False, default_factory=set)
-    #: True when the transport gave up before quiescence: the diagnosis
-    #: set is a lower bound computed from the facts derived before the
-    #: failure, not the exact answer
+    #: True when the run degraded -- the transport gave up before
+    #: quiescence or a peer failed permanently: the diagnosis set is
+    #: then a sound lower bound computed from what the surviving peers
+    #: derived, not necessarily the exact answer
     partial: bool = False
     #: per-channel delivery statistics of the failed run (from
     #: :class:`repro.errors.TransportExhausted`), ``None`` otherwise
     transport_stats: dict[str, dict[str, int]] | None = None
+    #: per-peer lifecycle report of a degraded run (from
+    #: :class:`repro.errors.PeerUnavailable`), ``None`` otherwise
+    peer_report: dict[str, dict[str, int | bool]] | None = None
 
 
 class DatalogDiagnosisEngine:
@@ -120,6 +124,7 @@ class DatalogDiagnosisEngine:
 
         partial = False
         transport_stats: dict[str, dict[str, int]] | None = None
+        peer_report: dict[str, dict[str, int | bool]] | None = None
         if self.mode is EvaluationMode.DQSQ:
             engine = DqsqEngine(program, budget=self.budget, options=self.options,
                                 use_termination_detector=self.use_termination_detector,
@@ -132,6 +137,10 @@ class DatalogDiagnosisEngine:
                 partial = True
                 transport_stats = result.transport_error.stats
                 counters.add("net.transport_exhausted")
+            if result.peer_failure is not None:
+                partial = True
+                peer_report = result.peer_failure.report
+                counters.add("net.peer_unavailable")
         else:
             local = program.local_version()
             local_query = Query(Atom(f"{query_atom.relation}@{query_atom.peer}",
@@ -162,7 +171,8 @@ class DatalogDiagnosisEngine:
             materialized_events=frozenset(events),
             materialized_conditions=frozenset(conditions),
             counters=counters, answers=answers,
-            partial=partial, transport_stats=transport_stats)
+            partial=partial, transport_stats=transport_stats,
+            peer_report=peer_report)
 
 
 def _answers_to_diagnoses(answers: set[Fact]) -> DiagnosisSet:

@@ -10,19 +10,24 @@ in which every peer rewrites only its own rules and delegates rule
 remainders to the peers that own the next body atom (Figure 5).
 """
 
-from repro.distributed.network import (FaultPlan, Message, Network,
-                                       NetworkOptions)
+from repro.distributed.network import (CheckpointablePeer, FaultPlan,
+                                       LinkPartition, Message, Network,
+                                       NetworkOptions, PeerFaultPlan)
 from repro.distributed.ddatalog import DDatalogProgram, global_translation
 from repro.distributed.naive_dist import DistributedNaiveEngine
 from repro.distributed.dqsq import DqsqEngine, DqsqResult
 from repro.distributed.termination import DijkstraScholten
 from repro.distributed.analysis import check_locality
+from repro.distributed.chaos import (ChaosConfig, ChaosReport, make_schedule,
+                                     run_chaos)
 
 __all__ = [
     "Network", "Message", "NetworkOptions", "FaultPlan",
+    "PeerFaultPlan", "LinkPartition", "CheckpointablePeer",
     "DDatalogProgram", "global_translation",
     "DistributedNaiveEngine",
     "DqsqEngine", "DqsqResult",
     "DijkstraScholten",
     "check_locality",
+    "ChaosConfig", "ChaosReport", "make_schedule", "run_chaos",
 ]

@@ -40,7 +40,7 @@ from repro.datalog.term import Var, variables_of
 from repro.distributed.ddatalog import DDatalogProgram
 from repro.distributed.network import Message, Network, NetworkOptions
 from repro.distributed.termination import ACK_KIND, DijkstraScholten
-from repro.errors import DistributedError, TransportExhausted
+from repro.errors import DistributedError, PeerUnavailable, TransportExhausted
 from repro.utils.counters import Counters
 
 KIND_FACTS = "dqsq-facts"
@@ -92,6 +92,7 @@ class _DqsqPeer:
         self.source_rules = Program(rules)
         self.db = Database()
         self.budget = budget
+        self._compiled = compiled
         self.evaluator = IncrementalEvaluator(self.db, budget, compiled=compiled)
         self.detector = detector
         self.counters = Counters()
@@ -100,6 +101,7 @@ class _DqsqPeer:
         self._dispatched: dict[RelationKey, int] = {}
         self._dispatch_log_position = 0
         self._demand_log_position = 0
+        self._install_log: list[Rule] = []
         self._idb: set[str] = {rule.head.relation for rule in self.source_rules
                                if rule.body or rule.negated}
         # Fact rules of relations with no proper rules are plain EDB: load
@@ -111,14 +113,77 @@ class _DqsqPeer:
             if rule.head.relation not in self._idb:
                 self.db.add_atom(rule.head)
 
+    # -- checkpoint / restore ----------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """A serializable snapshot of this peer's mutable state.
+
+        Taken at a handler boundary, so the local evaluation is at a
+        fixpoint and dispatch has consumed the whole change log: the
+        snapshot is internally consistent by construction.  Source rules
+        and the budget are static configuration and are not included.
+        """
+        return {
+            "facts": {key: list(self.db.facts(key))
+                      for key in self.db.relations()},
+            "rules": list(self._install_log),
+            "processed": set(self.processed),
+            "readers": {key: set(names) for key, names in self.readers.items()},
+            "dispatched": dict(self._dispatched),
+        }
+
+    def restore(self, snapshot: dict | None) -> None:
+        """Replace this peer's state with ``snapshot`` (``None`` = reset
+        to the post-construction state).
+
+        The database and evaluator are rebuilt from scratch: snapshot
+        facts are re-added, installed rule fragments re-installed, and
+        one fixpoint run re-derives the evaluator's internal frontier.
+        The change-log cursors then point at the end of the rebuilt log,
+        so only genuinely new facts (replayed or fresh deliveries) flow
+        through dispatch and demand processing afterwards.  Counters are
+        deliberately *not* rolled back: recovery work is real work.
+        """
+        self.counters.add("recovery.restores")
+        self.db = Database()
+        self.evaluator = IncrementalEvaluator(self.db, self.budget,
+                                              compiled=self._compiled)
+        self.processed = set()
+        self.readers = {}
+        self._dispatched = {}
+        self._install_log = []
+        if snapshot is None:
+            for rule in self.source_rules.facts():
+                if rule.head.relation not in self._idb:
+                    self.db.add_atom(rule.head)
+        else:
+            for key, tuples in snapshot["facts"].items():
+                self.db.add_all(key, tuples, assume_ground=True)
+            for rule in snapshot["rules"]:
+                self._install(rule)
+                self.counters.add("recovery.refired_rules")
+            self.evaluator.run()
+            self.processed = set(snapshot["processed"])
+            self.readers = {key: set(names)
+                            for key, names in snapshot["readers"].items()}
+            self._dispatched = dict(snapshot["dispatched"])
+        position = len(self.db.change_log())
+        self._dispatch_log_position = position
+        self._demand_log_position = position
+
     # -- message handling --------------------------------------------------------
 
     def on_message(self, message: Message, network: Network) -> None:
+        # Replayed deliveries re-run the payload processing (idempotent:
+        # fact stores, rule installation and reader registration all
+        # deduplicate) but must not re-run the termination protocol --
+        # the pre-crash incarnation already counted them.
+        replayed = network.delivering_replayed
         if message.kind == ACK_KIND:
-            if self.detector is not None:
+            if self.detector is not None and not replayed:
                 self.detector.on_ack(message, network)
             return
-        if self.detector is not None:
+        if self.detector is not None and not replayed:
             self.detector.on_basic_receive(message)
         if message.kind == KIND_FACTS:
             payload = message.payload
@@ -283,6 +348,7 @@ class _DqsqPeer:
     def _install(self, rule: Rule) -> None:
         if self.evaluator.add_rule(rule):
             self.counters.add("rules_installed")
+            self._install_log.append(rule)
 
     # -- fact dispatch ---------------------------------------------------------------
 
@@ -377,11 +443,19 @@ class DqsqResult:
     #: set when the reliable transport gave up before quiescence; the
     #: answers then reflect only what was derived before the failure
     transport_error: TransportExhausted | None = None
+    #: set when one or more peers failed permanently; the answers are
+    #: the sound partial result computed by the surviving peers
+    peer_failure: PeerUnavailable | None = None
 
     @property
     def partial(self) -> bool:
-        """True when the evaluation stopped early on transport failure."""
-        return self.transport_error is not None
+        """True when the evaluation stopped early on transport or peer failure."""
+        return self.transport_error is not None or self.peer_failure is not None
+
+    @property
+    def peer_report(self) -> dict[str, dict[str, int | bool]] | None:
+        """Per-peer failure report of a degraded run, else None."""
+        return self.peer_failure.report if self.peer_failure is not None else None
 
     def homed_fact_counts(self) -> dict[RelationKey, int]:
         """Distinct facts per relation, counted at their home peer only.
@@ -446,6 +520,8 @@ class DqsqEngine:
             if key[1] is not None:
                 names.add(key[1])
         detector = DijkstraScholten(origin_name) if self.use_termination_detector else None
+        if detector is not None:
+            network.add_lifecycle_listener(detector)
         peers: dict[str, _DqsqPeer] = {}
         for name in sorted(names):
             peer = _DqsqPeer(name, self.program.rules_at(name), self.budget,
@@ -478,12 +554,22 @@ class DqsqEngine:
             if detector is not None:
                 detector.peer_passive(origin_name, network)
         transport_error: TransportExhausted | None = None
+        peer_failure: PeerUnavailable | None = None
         try:
             network.run_until_quiescent()
         except TransportExhausted as err:
             # Graceful degradation: keep every fact derived so far and
             # report a partial result instead of crashing the evaluation.
             transport_error = err
+        except PeerUnavailable as err:
+            peer_failure = err
+        else:
+            failed = network.failed_peers()
+            if failed:
+                # Quiescent, but a peer died for good along the way: the
+                # result is still only what the survivors could derive.
+                peer_failure = PeerUnavailable(peers=failed,
+                                               report=network.peer_report())
 
         answer_relation = adorned_name(atom.relation, adornment)
         answers = select(origin.db, Atom(answer_relation, atom.args, atom.peer))
@@ -500,4 +586,4 @@ class DqsqEngine:
             answers=answers, counters=counters, per_peer=per_peer,
             databases=databases,
             terminated_by_detector=(detector.terminated if detector else None),
-            transport_error=transport_error)
+            transport_error=transport_error, peer_failure=peer_failure)

@@ -25,7 +25,7 @@ from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget, IncrementalEvaluator
 from repro.distributed.ddatalog import DDatalogProgram
 from repro.distributed.network import Message, Network, NetworkOptions
-from repro.errors import DistributedError, TransportExhausted
+from repro.errors import DistributedError, PeerUnavailable, TransportExhausted
 from repro.utils.counters import Counters
 
 KIND_ACTIVATE = "activate"
@@ -45,6 +45,49 @@ class _NaivePeer:
         self.subscribers: dict[str, set[str]] = {}
         self.subscriptions: set[RelationKey] = set()
         self.counters = Counters()
+
+    # -- checkpoint / restore -----------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """A serializable snapshot taken at a handler boundary (fixpoint)."""
+        return {
+            "facts": {key: list(self.db.facts(key))
+                      for key in self.db.relations()},
+            "active": set(self.active),
+            "subscribers": {rel: set(subs)
+                            for rel, subs in self.subscribers.items()},
+            "subscriptions": set(self.subscriptions),
+        }
+
+    def restore(self, snapshot: dict | None) -> None:
+        """Replace this peer's state with ``snapshot`` (``None`` = reset).
+
+        Active relations re-activate their rules in a fresh evaluator
+        (without re-sending subscriptions: the snapshot's subscription
+        set stands, and lost remote registrations are healed by replay
+        of the ACTIVATE messages that carried them) and one fixpoint run
+        rebuilds the evaluator's frontier.  Counters are kept: recovery
+        work is real work.
+        """
+        self.counters.add("recovery.restores")
+        self.db = Database()
+        self.evaluator = IncrementalEvaluator(self.db, self.budget)
+        self.active = set()
+        self.subscribers = {}
+        self.subscriptions = set()
+        if snapshot is None:
+            return
+        for key, tuples in snapshot["facts"].items():
+            self.db.add_all(key, tuples, assume_ground=True)
+        self.active = set(snapshot["active"])
+        self.subscribers = {rel: set(subs)
+                            for rel, subs in snapshot["subscribers"].items()}
+        self.subscriptions = set(snapshot["subscriptions"])
+        for relation in sorted(self.active):
+            for rule in self.rules.rules_for(relation, self.name):
+                self.evaluator.add_rule(rule)
+                self.counters.add("recovery.refired_rules")
+        self.evaluator.run()
 
     # -- activation -------------------------------------------------------------
 
@@ -120,10 +163,17 @@ class NaiveDistResult:
     per_peer: dict[str, Counters]
     #: set when the reliable transport gave up before quiescence
     transport_error: TransportExhausted | None = None
+    #: set when one or more peers failed permanently mid-run
+    peer_failure: PeerUnavailable | None = None
 
     @property
     def partial(self) -> bool:
-        return self.transport_error is not None
+        return self.transport_error is not None or self.peer_failure is not None
+
+    @property
+    def peer_report(self) -> dict[str, dict[str, int | bool]] | None:
+        """Per-peer failure report of a degraded run, else None."""
+        return self.peer_failure.report if self.peer_failure is not None else None
 
 
 class DistributedNaiveEngine:
@@ -170,10 +220,18 @@ class DistributedNaiveEngine:
         origin.activate(atom.relation, network)
         origin.evaluate(network)
         transport_error: TransportExhausted | None = None
+        peer_failure: PeerUnavailable | None = None
         try:
             network.run_until_quiescent()
         except TransportExhausted as err:
             transport_error = err
+        except PeerUnavailable as err:
+            peer_failure = err
+        else:
+            failed = network.failed_peers()
+            if failed:
+                peer_failure = PeerUnavailable(peers=failed,
+                                               report=network.peer_report())
 
         answers = select(origin.db, Atom(atom.relation, atom.args, atom.peer))
         counters = Counters()
@@ -187,4 +245,5 @@ class DistributedNaiveEngine:
                      sum(peer.db.total_facts() for peer in peers.values()))
         return NaiveDistResult(answers=answers, counters=counters,
                                per_peer=per_peer,
-                               transport_error=transport_error)
+                               transport_error=transport_error,
+                               peer_failure=peer_failure)

@@ -26,18 +26,36 @@ on a lossy substrate.  When the retry budget is exhausted the network
 raises :class:`repro.errors.TransportExhausted` carrying per-channel
 delivery statistics, which the diagnosis engine turns into a
 partial-result report.
+
+A :class:`PeerFaultPlan` extends the fault model from channels to
+*processes*: peers can crash (losing all in-memory state), restart from
+their latest checkpoint, and peer pairs can be partitioned for a window
+of the run.  The network owns the checkpoint store: peers implementing
+:class:`CheckpointablePeer` are snapshotted (pickled, so the snapshot is
+isolated from later mutation) every ``checkpoint_interval`` deliveries,
+and on restart the network restores the snapshot, rolls the peer's
+inbound channel cursors back to the checkpointed sequence numbers, and
+*replays* the retained per-channel message log across the gap.  Replayed
+frames are exempt from loss injection (a recovering peer reads them from
+the sender-side log, not the lossy wire) and are flagged so protocol
+layers above (the termination detector) can tell a recovery re-delivery
+from a first delivery.  A peer that is down with no scheduled restart is
+*permanently failed*: once only frames to failed peers (or across
+unhealed partitions) remain, the network raises
+:class:`repro.errors.PeerUnavailable` with a per-peer failure report,
+which the engines turn into a sound degraded (partial) result.
 """
 
 from __future__ import annotations
 
+import pickle
 import random
-import warnings
 from collections import deque
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Protocol
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Protocol
 
-from repro.errors import (NetworkClosedError, TransportExhausted,
-                          UnknownPeerError)
+from repro.errors import (NetworkClosedError, PeerUnavailable,
+                          TransportExhausted, UnknownPeerError)
 from repro.utils.counters import Counters
 
 @dataclass(frozen=True)
@@ -88,25 +106,104 @@ class FaultPlan:
 
 
 @dataclass(frozen=True)
+class LinkPartition:
+    """A bidirectional cut between two peers over a delivery window.
+
+    The cut opens once ``start`` handler deliveries have happened and
+    heals after ``heal_after`` further deliveries (``None`` = never).
+    While active, frames on the ``a<->b`` channels are retained, not
+    lost; if the whole run stalls on a cut that has a heal scheduled,
+    the heal is brought forward (delivery counts cannot advance through
+    a global stall).
+    """
+
+    a: str
+    b: str
+    start: int = 0
+    heal_after: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.a == self.b:
+            raise ValueError("a partition needs two distinct peers")
+        if self.start < 0:
+            raise ValueError("start must be >= 0")
+        if self.heal_after is not None and self.heal_after < 1:
+            raise ValueError("heal_after must be >= 1 (or None for a permanent cut)")
+
+
+@dataclass(frozen=True)
+class PeerFaultPlan:
+    """Process-level failure injection: crashes, restarts and partitions.
+
+    ``crash_at`` schedules deterministic crashes: peer ``p`` crashes in
+    place of processing its k-th delivery (1-based, each listed k fires
+    once).  ``crash_probability`` adds a seeded random crash draw before
+    every delivery, bounded by ``max_random_crashes`` per peer.  A
+    crashed peer restarts after ``restart_after_deliveries`` further
+    global deliveries (``None`` = permanent failure) by restoring its
+    latest checkpoint.  Any non-default field activates the reliable
+    transport: crash recovery leans on its sequence numbers.
+    """
+
+    #: peer name -> 1-based indices of deliveries-to-that-peer that crash it
+    crash_at: Mapping[str, tuple[int, ...]] = field(default_factory=dict)
+    #: probability that a peer crashes instead of processing a delivery
+    crash_probability: float = 0.0
+    #: cap on probabilistic crashes per peer (deterministic ones are exact)
+    max_random_crashes: int = 1
+    #: global deliveries until a crashed peer restarts; None = stays dead
+    restart_after_deliveries: int | None = None
+    #: checkpoint a peer after every k-th delivery to it
+    checkpoint_interval: int = 1
+    #: "queue" retains sends to a down peer; "fail" raises PeerUnavailable
+    down_send_policy: str = "queue"
+    #: "retain" keeps frames queued to a crashing peer; "flush" drops them
+    #: (the reliable layer retransmits the flushed data frames later)
+    crash_frame_policy: str = "retain"
+    #: link partitions between peer pairs, by delivery-count window
+    partitions: tuple[LinkPartition, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.crash_probability <= 1.0:
+            raise ValueError("crash_probability must be in [0, 1]")
+        if self.max_random_crashes < 0:
+            raise ValueError("max_random_crashes must be >= 0")
+        if self.restart_after_deliveries is not None and self.restart_after_deliveries < 1:
+            raise ValueError("restart_after_deliveries must be >= 1 (or None)")
+        if self.checkpoint_interval < 1:
+            raise ValueError("checkpoint_interval must be >= 1")
+        if self.down_send_policy not in ("queue", "fail"):
+            raise ValueError("down_send_policy must be 'queue' or 'fail'")
+        if self.crash_frame_policy not in ("retain", "flush"):
+            raise ValueError("crash_frame_policy must be 'retain' or 'flush'")
+        for peer, indices in self.crash_at.items():
+            for k in indices:
+                if k < 1:
+                    raise ValueError(f"crash_at[{peer}] indices are 1-based, got {k}")
+
+    def enabled(self) -> bool:
+        """Whether any process-level fault can occur."""
+        return (bool(self.crash_at) or self.crash_probability > 0
+                or bool(self.partitions))
+
+
+@dataclass(frozen=True)
 class NetworkOptions:
-    """Scheduler knobs plus the grouped failure-injection plan."""
+    """Scheduler knobs plus the grouped failure-injection plans."""
 
     seed: int = 0
     max_deliveries: int = 1_000_000
     fault: FaultPlan = FaultPlan()
-    #: deprecated -- use ``fault=FaultPlan(duplicate_probability=...)``
-    duplicate_probability: float = 0.0
+    peer_fault: PeerFaultPlan = PeerFaultPlan()
 
-    def __post_init__(self) -> None:
-        if self.duplicate_probability:
-            warnings.warn(
-                "NetworkOptions.duplicate_probability is deprecated; use "
-                "fault=FaultPlan(duplicate_probability=...)",
-                DeprecationWarning, stacklevel=3)
-            object.__setattr__(
-                self, "fault",
-                replace(self.fault,
-                        duplicate_probability=self.duplicate_probability))
+    def rng(self) -> random.Random:
+        """The one seeded generator behind every scheduler and fault draw.
+
+        Loss, delay, duplication, crash and scheduling draws all come
+        from this stream, so a run is replayable from ``seed`` alone
+        (recorded in the ``net.seed`` counter of every result).
+        """
+        return random.Random(self.seed)
 
 
 @dataclass(frozen=True)
@@ -127,6 +224,41 @@ class PeerHandler(Protocol):
         ...
 
 
+class CheckpointablePeer(PeerHandler, Protocol):
+    """A peer whose state can be snapshotted and rolled back.
+
+    ``checkpoint`` returns a picklable snapshot of the peer's mutable
+    state taken at a handler boundary (the network pickles it, so the
+    stored copy is isolated from later mutation).  ``restore`` replaces
+    the peer's state with a snapshot -- or, given ``None``, resets the
+    peer to its post-construction state.
+    """
+
+    def checkpoint(self) -> Any:  # pragma: no cover
+        ...
+
+    def restore(self, snapshot: Any) -> None:  # pragma: no cover
+        ...
+
+
+class LifecycleListener(Protocol):
+    """Observer of peer crash/restart/recovery events.
+
+    The Dijkstra-Scholten detector registers as one so it can settle the
+    crashed peer's acknowledgement obligations and treat the restarted
+    peer as the root of a recovery sub-computation.
+    """
+
+    def on_peer_crash(self, peer: str, network: "Network") -> None:  # pragma: no cover
+        ...
+
+    def on_peer_restart(self, peer: str, network: "Network") -> None:  # pragma: no cover
+        ...
+
+    def on_peer_recovered(self, peer: str, network: "Network") -> None:  # pragma: no cover
+        ...
+
+
 _ACK = "__transport-ack__"
 
 
@@ -139,6 +271,9 @@ class _Frame:
     eligible_at: int            #: earliest clock tick this frame may arrive
     is_ack: bool = False
     ack_value: int = 0          #: cumulative: all channel_seq <= value received
+    #: recovery re-delivery from the retained log: exempt from loss
+    #: injection (a restarted peer reads the log, not the lossy wire)
+    is_replay: bool = False
 
 
 @dataclass
@@ -168,14 +303,43 @@ class _ChannelState:
         "acked": 0, "duplicates_suppressed": 0})
 
 
+@dataclass
+class _PeerCheckpoint:
+    """One stored snapshot: peer state blob + inbound channel cursors."""
+
+    blob: bytes
+    inbound_expected: dict[tuple[str, str], int]
+
+
+@dataclass
+class _PartitionState:
+    """Mutable view of one :class:`LinkPartition` during a run."""
+
+    spec: LinkPartition
+    healed: bool = False
+
+    def active(self, delivered: int) -> bool:
+        if self.healed or delivered < self.spec.start:
+            return False
+        if self.spec.heal_after is None:
+            return True
+        return delivered < self.spec.start + self.spec.heal_after
+
+    def heal_scheduled(self, delivered: int) -> bool:
+        """Active now, but will heal on its own once deliveries advance."""
+        return (self.active(delivered) and self.spec.heal_after is not None)
+
+
 class Network:
     """Registry of peers plus the delivery scheduler and transport layer."""
 
     def __init__(self, options: NetworkOptions | None = None) -> None:
         self.options = options or NetworkOptions()
         self.fault = self.options.fault
+        self.peer_fault = self.options.peer_fault
         self.counters = Counters()
-        self._rng = random.Random(self.options.seed)
+        self.counters.set_max("net.seed", self.options.seed)
+        self._rng = self.options.rng()
         self._handlers: dict[str, PeerHandler] = {}
         self._channels: dict[tuple[str, str], deque[_Frame]] = {}
         self._states: dict[tuple[str, str], _ChannelState] = {}
@@ -183,7 +347,34 @@ class Network:
         self._clock = 0
         self._closed = False
         self._monitors: list[Callable[[Message], None]] = []
-        self._reliable = self.fault.needs_reliability()
+        self._peer_faults = self.peer_fault.enabled()
+        # Crash recovery leans on the sequence/ack machinery (watermarks,
+        # dedup of re-sent frames), so peer faults force the layer on.
+        self._reliable = self.fault.needs_reliability() or self._peer_faults
+        # -- peer lifecycle state -------------------------------------------
+        self._down: dict[str, int | None] = {}          #: peer -> restart-at (deliveries)
+        self._crash_schedule = {peer: sorted(ks)
+                                for peer, ks in self.peer_fault.crash_at.items()}
+        self._random_crashes: dict[str, int] = {}
+        self._crash_counts: dict[str, int] = {}
+        self._restart_counts: dict[str, int] = {}
+        self._deliveries_to: dict[str, int] = {}
+        self._delivered_total = 0
+        self._checkpoints: dict[str, _PeerCheckpoint] = {}
+        self._baseline_taken = False
+        #: retained per-channel log of every logical message ever sent
+        #: (index i holds channel_seq i+1); the replay source on restart
+        self._history: dict[tuple[str, str], list[Message]] = {}
+        #: per inbound channel: highest `expected` observed at any crash
+        #: of the recipient -- deliveries below it are recovery replays
+        self._ds_watermark: dict[tuple[str, str], int] = {}
+        self._catching_up: set[str] = set()
+        self._partitions = [_PartitionState(spec)
+                            for spec in self.peer_fault.partitions]
+        self._lifecycle: list[LifecycleListener] = []
+        #: True exactly while a replayed frame's handler runs; protocol
+        #: layers (Dijkstra-Scholten) use it to skip double accounting
+        self.delivering_replayed = False
 
     # -- registration --------------------------------------------------------
 
@@ -200,8 +391,200 @@ class Network:
 
         Monitors see exactly the messages handlers see: first deliveries
         only, never drops, transport acks or suppressed duplicates.
+        Recovery replays re-run handlers, so monitors see those too.
         """
         self._monitors.append(callback)
+
+    def add_lifecycle_listener(self, listener: LifecycleListener) -> None:
+        """Observe peer crash / restart / recovery events."""
+        self._lifecycle.append(listener)
+
+    # -- peer lifecycle ------------------------------------------------------
+
+    def is_up(self, peer: str) -> bool:
+        return peer not in self._down
+
+    def failed_peers(self) -> tuple[str, ...]:
+        """Peers that are down with no restart scheduled."""
+        return tuple(sorted(p for p, at in self._down.items() if at is None))
+
+    def peer_report(self) -> dict[str, dict[str, int | bool]]:
+        """Per-peer lifecycle and backlog summary (the degraded-run report)."""
+        report: dict[str, dict[str, int | bool]] = {}
+        for name in self.peers():
+            held = sum(len(queue) for channel, queue in self._channels.items()
+                       if channel[1] == name)
+            report[name] = {
+                "up": name not in self._down,
+                "permanently_down": name in self._down and self._down[name] is None,
+                "crashes": self._crash_counts.get(name, 0),
+                "restarts": self._restart_counts.get(name, 0),
+                "deliveries": self._deliveries_to.get(name, 0),
+                "held_frames": held,
+            }
+        return report
+
+    def _partition_active(self, a: str, b: str) -> bool:
+        return any(part.active(self._delivered_total)
+                   and {a, b} == {part.spec.a, part.spec.b}
+                   for part in self._partitions)
+
+    def _channel_open(self, channel: tuple[str, str]) -> bool:
+        """Whether frames on ``channel`` may currently be delivered."""
+        sender, recipient = channel
+        if recipient in self._down:
+            return False
+        return not self._partition_active(sender, recipient)
+
+    def _checkpointable(self, peer: str) -> bool:
+        handler = self._handlers.get(peer)
+        return hasattr(handler, "checkpoint") and hasattr(handler, "restore")
+
+    def _store_checkpoint(self, peer: str) -> None:
+        handler = self._handlers[peer]
+        blob = pickle.dumps(handler.checkpoint(),  # type: ignore[attr-defined]
+                            protocol=pickle.HIGHEST_PROTOCOL)
+        inbound = {channel: state.expected
+                   for channel, state in self._states.items()
+                   if channel[1] == peer}
+        self._checkpoints[peer] = _PeerCheckpoint(blob, inbound)
+        self.counters.add("recovery.checkpoints_taken")
+
+    def _capture_baseline(self) -> None:
+        """Checkpoint every checkpointable peer before the first delivery."""
+        for name in self.peers():
+            if self._checkpointable(name):
+                self._store_checkpoint(name)
+        self._baseline_taken = True
+
+    def _should_crash(self, peer: str) -> bool:
+        schedule = self._crash_schedule.get(peer)
+        attempt = self._deliveries_to.get(peer, 0) + 1
+        if schedule and schedule[0] <= attempt:
+            schedule.pop(0)
+            return True
+        if (self.peer_fault.crash_probability > 0
+                and self._random_crashes.get(peer, 0) < self.peer_fault.max_random_crashes
+                and self._rng.random() < self.peer_fault.crash_probability):
+            self._random_crashes[peer] = self._random_crashes.get(peer, 0) + 1
+            return True
+        return False
+
+    def _crash_peer(self, peer: str) -> None:
+        """Take ``peer`` down, losing all state since its last checkpoint."""
+        if not self._checkpointable(peer):
+            from repro.errors import DistributedError
+            raise DistributedError(
+                f"peer {peer} cannot crash: its handler is not checkpointable")
+        restart_after = self.peer_fault.restart_after_deliveries
+        self._down[peer] = (self._delivered_total + restart_after
+                            if restart_after is not None else None)
+        self._crash_counts[peer] = self._crash_counts.get(peer, 0) + 1
+        self.counters.add("recovery.crashes")
+        for channel, state in self._states.items():
+            if channel[1] != peer:
+                continue
+            # Deliveries below this cursor were already consumed (and
+            # protocol-settled) by the pre-crash incarnation: re-running
+            # them after restore is a replay, not a first delivery.
+            self._ds_watermark[channel] = max(self._ds_watermark.get(channel, 0),
+                                              state.expected)
+            state.reorder.clear()
+        if self.peer_fault.crash_frame_policy == "flush":
+            for channel in list(self._channels):
+                if channel[1] != peer:
+                    continue
+                queue = self._channels[channel]
+                state = self._state(channel)
+                for frame in queue:
+                    if frame.is_ack:
+                        continue
+                    pending = state.outstanding.get(frame.channel_seq)
+                    if pending is not None and pending.in_flight > 0:
+                        # The copy is gone from the wire; let the
+                        # retransmission timer re-send it later.
+                        pending.in_flight -= 1
+                    self.counters.add("recovery.frames_flushed")
+                queue.clear()
+        for listener in self._lifecycle:
+            listener.on_peer_crash(peer, self)
+
+    def _restart_peer(self, peer: str) -> None:
+        """Bring ``peer`` back: restore its checkpoint and replay the gap."""
+        del self._down[peer]
+        self._restart_counts[peer] = self._restart_counts.get(peer, 0) + 1
+        self.counters.add("recovery.restarts")
+        checkpoint = self._checkpoints.get(peer)
+        handler = self._handlers[peer]
+        snapshot = pickle.loads(checkpoint.blob) if checkpoint else None
+        handler.restore(snapshot)  # type: ignore[attr-defined]
+        if checkpoint is not None:
+            self.counters.add("recovery.checkpoints_restored")
+        replayed = 0
+        inbound = {channel for channel in (set(self._history) | set(self._states))
+                   if channel[1] == peer}
+        for channel in sorted(inbound):
+            state = self._state(channel)
+            restored = (checkpoint.inbound_expected.get(channel, 1)
+                        if checkpoint else 1)
+            state.expected = restored
+            state.reorder.clear()
+            watermark = self._ds_watermark.get(channel, 0)
+            log = self._history.get(channel, ())
+            replay = [_Frame(message=log[seq - 1], channel_seq=seq,
+                             eligible_at=self._clock, is_replay=True)
+                      for seq in range(restored, watermark)]
+            if replay:
+                queue = self._channels.setdefault(channel, deque())
+                # Replays carry the oldest sequence numbers on the
+                # channel: deliver them ahead of whatever is queued.
+                for frame in reversed(replay):
+                    queue.appendleft(frame)
+                replayed += len(replay)
+        self.counters.add("recovery.frames_replayed", replayed)
+        for listener in self._lifecycle:
+            listener.on_peer_restart(peer, self)
+        if self._caught_up(peer):
+            self._notify_recovered(peer)
+        else:
+            self._catching_up.add(peer)
+
+    def _caught_up(self, peer: str) -> bool:
+        return all(self._state(channel).expected >= watermark
+                   for channel, watermark in self._ds_watermark.items()
+                   if channel[1] == peer)
+
+    def _notify_recovered(self, peer: str) -> None:
+        for listener in self._lifecycle:
+            listener.on_peer_recovered(peer, self)
+
+    def _process_due_restarts(self) -> None:
+        for peer in sorted(self._down):
+            restart_at = self._down[peer]
+            if restart_at is not None and self._delivered_total >= restart_at:
+                self._restart_peer(peer)
+
+    def _force_next_event(self) -> bool:
+        """A global stall cannot advance delivery counts: bring the
+        earliest scheduled restart or partition heal forward.  Returns
+        True when an event fired."""
+        events: list[tuple[int, int, str]] = []
+        for peer, restart_at in self._down.items():
+            if restart_at is not None:
+                events.append((restart_at, 0, peer))
+        for index, part in enumerate(self._partitions):
+            if part.heal_scheduled(self._delivered_total):
+                events.append((part.spec.start + (part.spec.heal_after or 0),
+                               1, str(index)))
+        if not events:
+            return False
+        _at, kind, name = min(events)
+        if kind == 0:
+            self._restart_peer(name)
+        else:
+            self._partitions[int(name)].healed = True
+            self.counters.add("recovery.partitions_healed")
+        return True
 
     # -- sending / delivery ---------------------------------------------------
 
@@ -218,6 +601,12 @@ class Network:
             raise NetworkClosedError("network is closed")
         if recipient not in self._handlers:
             raise UnknownPeerError(f"unknown peer {recipient}")
+        if (recipient in self._down
+                and self.peer_fault.down_send_policy == "fail"):
+            raise PeerUnavailable(
+                peers=(recipient,), report=self.peer_report(),
+                reason=f"send of a {kind!r} message refused: peer {recipient} "
+                       f"is down (down_send_policy='fail')")
         self._seq += 1
         message = Message(sender=sender, recipient=recipient, kind=kind,
                           payload=payload, seq=self._seq)
@@ -232,6 +621,8 @@ class Network:
             state.outstanding[channel_seq] = _Pending(
                 message=message, channel_seq=channel_seq,
                 sent_at=self._clock, last_tx=self._clock)
+        if self._peer_faults:
+            self._history.setdefault(channel, []).append(message)
         self._enqueue(channel, frame)
         self.counters.add("messages_sent")
         self.counters.add(f"messages_sent[{kind}]")
@@ -263,29 +654,51 @@ class Network:
         """Deliver (or drop) one frame from a scheduler-chosen channel.
 
         Returns False when nothing is in flight and nothing awaits a
-        retransmission -- i.e. the network is globally quiescent.
+        retransmission -- i.e. the network is globally quiescent.  A
+        crash event consumes a step.  Raises
+        :class:`repro.errors.PeerUnavailable` when undeliverable work
+        remains but every holding channel leads to a permanently failed
+        peer or across a permanent partition.
         """
+        if self._peer_faults and not self._baseline_taken:
+            self._capture_baseline()
         while True:
+            self._process_due_restarts()
             nonempty = [key for key, queue in self._channels.items() if queue]
-            if not nonempty:
-                if self._reliable and self._retransmit(force=True):
+            deliverable = [key for key in nonempty if self._channel_open(key)]
+            if deliverable:
+                eligible = [key for key in deliverable
+                            if self._channels[key][0].eligible_at <= self._clock]
+                if not eligible:
+                    # Fast-forward the clock to the next arrival: delays are
+                    # relative ticks, not wall time.
+                    self._clock = min(self._channels[key][0].eligible_at
+                                      for key in deliverable)
                     continue
-                return False
-            eligible = [key for key in nonempty
-                        if self._channels[key][0].eligible_at <= self._clock]
-            if not eligible:
-                # Fast-forward the clock to the next arrival: delays are
-                # relative ticks, not wall time.
-                self._clock = min(self._channels[key][0].eligible_at
-                                  for key in nonempty)
+                channel = self._rng.choice(sorted(eligible))
+                if self._peer_faults and self._should_crash(channel[1]):
+                    self._crash_peer(channel[1])
+                    self._clock += 1
+                    return True
+                frame = self._channels[channel].popleft()
+                self._clock += 1
+                self._receive(channel, frame)
+                if self._reliable:
+                    self._retransmit(force=False)
+                return True
+            # Nothing deliverable right now.
+            if self._reliable and self._retransmit(force=True):
                 continue
-            channel = self._rng.choice(sorted(eligible))
-            frame = self._channels[channel].popleft()
-            self._clock += 1
-            self._receive(channel, frame)
-            if self._reliable:
-                self._retransmit(force=False)
-            return True
+            blocked = bool(nonempty) or any(
+                state.outstanding for state in self._states.values())
+            if not blocked:
+                return False
+            if self._force_next_event():
+                continue
+            raise PeerUnavailable(
+                peers=self.failed_peers(), report=self.peer_report(),
+                reason="undeliverable frames remain and no restart or "
+                       "partition heal is scheduled")
 
     def _receive(self, channel: tuple[str, str], frame: _Frame) -> None:
         """Transport-level arrival: loss, acks, dedup, reorder, delivery."""
@@ -297,7 +710,7 @@ class Network:
                 self._deliver(frame.message)
             return
         state = self._state(channel)
-        if not frame.is_ack:
+        if not frame.is_ack and not frame.is_replay:
             consumed = state.outstanding.get(frame.channel_seq)
             if consumed is not None and consumed.in_flight > 0:
                 consumed.in_flight -= 1
@@ -305,8 +718,9 @@ class Network:
                 # so restart the retransmission timer from here (queueing
                 # latency must not masquerade as loss).
                 consumed.last_tx = self._clock
-        # Loss applies to every frame on the wire, acks included.
-        if (self.fault.drop_probability > 0
+        # Loss applies to every frame on the wire, acks included --
+        # except recovery replays, which come out of the retained log.
+        if (not frame.is_replay and self.fault.drop_probability > 0
                 and self._rng.random() < self.fault.drop_probability):
             self.counters.add("net.dropped")
             if not frame.is_ack:
@@ -351,7 +765,19 @@ class Network:
         if pending is not None:
             self.counters.set_max("net.delivery_latency_max",
                                   self._clock - pending.sent_at)
-        self._deliver(frame.message)
+        # Below the crash watermark means the pre-crash incarnation
+        # already consumed (and protocol-settled) this sequence number:
+        # flag the re-run so layers above skip double accounting.
+        replayed = frame.channel_seq < self._ds_watermark.get(channel, 0)
+        if replayed:
+            self.counters.add("recovery.deliveries_replayed")
+            self.delivering_replayed = True
+            try:
+                self._deliver(frame.message)
+            finally:
+                self.delivering_replayed = False
+        else:
+            self._deliver(frame.message)
 
     def _send_ack(self, channel: tuple[str, str], ack_value: int) -> None:
         """Queue a cumulative transport ack on the reverse channel."""
@@ -377,6 +803,11 @@ class Network:
 
         With ``force`` (wire empty but frames unsettled) every outstanding
         frame is resent immediately: nothing else can advance the clock.
+        Channels to down peers or across active partitions are skipped --
+        retries must not burn while the destination cannot receive -- and
+        so are channels whose *reverse* direction is closed: re-sending
+        is pointless while the sender cannot receive the acknowledgement
+        that would settle the frame.
         Returns True when anything was retransmitted.
         """
         # The clock ticks once per global delivery, so an ack's queueing
@@ -385,6 +816,10 @@ class Network:
         timeout = self.fault.ack_timeout_deliveries + self.pending()
         resent = False
         for channel in sorted(self._states):
+            if not self._channel_open(channel):
+                continue
+            if self._peer_faults and not self._channel_open((channel[1], channel[0])):
+                continue
             state = self._states[channel]
             for seq in sorted(state.outstanding):
                 pending = state.outstanding[seq]
@@ -409,9 +844,22 @@ class Network:
 
     def _deliver(self, message: Message) -> None:
         self.counters.add("messages_delivered")
+        self._delivered_total += 1
         for monitor in self._monitors:
             monitor(message)
         self._handlers[message.recipient].on_message(message, self)
+        if self._peer_faults:
+            self._after_delivery(message.recipient)
+
+    def _after_delivery(self, peer: str) -> None:
+        count = self._deliveries_to.get(peer, 0) + 1
+        self._deliveries_to[peer] = count
+        if (self._checkpointable(peer)
+                and count % self.peer_fault.checkpoint_interval == 0):
+            self._store_checkpoint(peer)
+        if peer in self._catching_up and self._caught_up(peer):
+            self._catching_up.discard(peer)
+            self._notify_recovered(peer)
 
     def run_until_quiescent(self) -> int:
         """Deliver until no message is in flight; returns delivery count.
@@ -420,7 +868,8 @@ class Network:
         unacknowledged frame means global quiescence.  Deliveries are
         capped by ``max_deliveries`` to turn livelock into an explicit
         error.  Raises :class:`TransportExhausted` when a frame runs out
-        of retries.
+        of retries and :class:`PeerUnavailable` when only permanently
+        unreachable peers hold up the run.
         """
         delivered = 0
         while self.step():

@@ -24,6 +24,27 @@ in ``network.py`` acknowledges, deduplicates and reorders frames *below*
 this protocol, so ``on_basic_receive`` fires only for first deliveries
 and the deficit accounting stays balanced.  Transport-level acks and
 retransmissions are invisible here -- they are frames, not messages.
+
+Peer crashes need help from a failure detector, which the simulated
+network provides through its lifecycle events:
+
+* ``on_peer_crash`` settles the crashed peer's obligations: any
+  acknowledgements it owed its parent are synthesised on its behalf
+  (the engagement tree must not dangle from a dead node).  Its own
+  *deficit is kept* -- the messages it sent before dying are still in
+  flight and will be acknowledged by their recipients later.  Because
+  those synthesised acks detach the peer's whole subtree from the
+  root's accounting, termination stays blocked while any peer is down.
+* ``on_peer_restart`` re-engages the peer as the root of a *recovery
+  sub-computation*: engaged with no parent, like the root.  It owes
+  nobody acknowledgements (its checkpoint predates the crash and the
+  replayed deliveries are flagged, see below), but global termination
+  now additionally requires every such recovery root to retire --
+  caught up on replay, passive, deficit zero.
+* replayed deliveries (``network.delivering_replayed``) must be
+  **skipped** by ``on_basic_receive`` and ``on_ack`` alike: the
+  pre-crash incarnation already counted them, and counting a replayed
+  DS acknowledgement twice would drive some deficit negative.
 """
 
 from __future__ import annotations
@@ -52,6 +73,15 @@ class DijkstraScholten:
         self._ack_queue: list[tuple[str, str, int]] = []
         self._terminated = False
         self._root_started = False
+        #: restarted peers acting as recovery roots: peer -> caught up
+        #: on replay yet.  Termination is blocked while any remain.
+        self._recovering: dict[str, bool] = {}
+        #: crashed peers not yet restarted.  Synthesising their parent
+        #: acks detaches their whole subtree from the root's deficit, so
+        #: termination must stay blocked until each comes back (and then
+        #: retires through ``_recovering``) -- or, for permanent deaths,
+        #: until the network gives up and reports them unavailable.
+        self._down: set[str] = set()
 
     def _state(self, peer: str) -> _NodeState:
         state = self._states.get(peer)
@@ -100,9 +130,12 @@ class DijkstraScholten:
     def peer_passive(self, peer: str, network: Network) -> None:
         """Called when ``peer`` finishes local work (end of its handler)."""
         state = self._state(peer)
+        if peer in self._recovering:
+            self._try_retire(peer, network)
+            return
         if state.engaged and state.deficit == 0:
             if peer == self.root:
-                if self._root_started:
+                if self._root_started and not self._recovering and not self._down:
                     self._terminated = True
             elif state.parent is not None:
                 parent, count = state.parent, state.pending_parent_acks
@@ -111,6 +144,60 @@ class DijkstraScholten:
                 state.engaged = False
                 if count:
                     self._ack_queue.append((peer, parent, count))
+        self.flush(network)
+
+    # -- crash recovery (driven by the network's lifecycle events) -------------
+
+    def on_peer_crash(self, peer: str, network: Network) -> None:
+        """``peer`` died, losing its volatile protocol state.
+
+        The failure detector settles its debts: acknowledgements it owed
+        its parent are synthesised here so the engagement tree does not
+        dangle from a dead node.  Its *deficit stays*: the messages it
+        sent before dying are still in flight (frames to a down peer are
+        held, not lost) and will be acknowledged by their recipients.
+        """
+        self._terminated = False
+        state = self._state(peer)
+        if state.engaged and state.parent is not None and state.pending_parent_acks:
+            self._ack_queue.append((peer, state.parent,
+                                    state.pending_parent_acks))
+        state.parent = None
+        state.pending_parent_acks = 0
+        state.engaged = False
+        self._recovering.pop(peer, None)
+        self._down.add(peer)
+        self.flush(network)
+
+    def on_peer_restart(self, peer: str, network: Network) -> None:
+        """``peer`` is back: engage it as a recovery root."""
+        state = self._state(peer)
+        state.engaged = True
+        state.parent = None
+        state.pending_parent_acks = 0
+        self._down.discard(peer)
+        self._recovering[peer] = False
+        self._terminated = False
+
+    def on_peer_recovered(self, peer: str, network: Network) -> None:
+        """``peer`` finished replaying its checkpoint gap."""
+        if peer in self._recovering:
+            self._recovering[peer] = True
+            self._try_retire(peer, network)
+
+    def _try_retire(self, peer: str, network: Network) -> None:
+        """Retire a recovery root once caught up, passive and settled."""
+        state = self._state(peer)
+        if not self._recovering.get(peer, False) or state.deficit != 0:
+            self.flush(network)
+            return
+        del self._recovering[peer]
+        if peer != self.root:
+            state.engaged = False
+        root_state = self._state(self.root)
+        if (self._root_started and not self._recovering and not self._down
+                and root_state.engaged and root_state.deficit == 0):
+            self._terminated = True
         self.flush(network)
 
     # -- ack transport ----------------------------------------------------------

@@ -115,6 +115,26 @@ class TransportExhausted(DistributedError):
         self.stats = stats
 
 
+class PeerUnavailable(DistributedError):
+    """Raised when undeliverable work remains but the peers holding it
+    up are permanently failed (down with no restart scheduled) or cut
+    off behind a partition that will never heal.
+
+    Carries the failed peer names and a per-peer report (up /
+    permanently_down / crashes / restarts / deliveries / held_frames),
+    so callers can degrade gracefully -- the diagnosis engine returns
+    the sound partial diagnosis computed by the surviving peers.
+    """
+
+    def __init__(self, peers: tuple[str, ...],
+                 report: dict[str, dict[str, int | bool]],
+                 reason: str | None = None):
+        names = ", ".join(peers) if peers else "<none scheduled to return>"
+        super().__init__(reason or f"peers permanently unavailable: {names}")
+        self.peers = peers
+        self.report = report
+
+
 class DiagnosisError(ReproError):
     """Base class for diagnosis-layer errors."""
 

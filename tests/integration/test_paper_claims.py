@@ -13,7 +13,8 @@ from repro.datalog import (Database, EvaluationBudget, Query,
 from repro.datalog.atom import Atom
 from repro.diagnosis import (AlarmSequence, DatalogDiagnosisEngine,
                              DedicatedDiagnoser, bruteforce_diagnosis)
-from repro.distributed import DDatalogProgram, DqsqEngine, NetworkOptions
+from repro.distributed import (DDatalogProgram, DqsqEngine, FaultPlan,
+                               NetworkOptions)
 from repro.errors import BudgetExceeded
 from repro.petri.examples import figure1_alarm_scenarios, figure1_net
 from repro.petri.generators import random_safe_net
@@ -157,7 +158,7 @@ class TestFailureInjection:
         expected = bruteforce_diagnosis(petri, alarms).diagnoses
         engine = DatalogDiagnosisEngine(
             petri, mode="dqsq",
-            options=NetworkOptions(seed=3, duplicate_probability=0.3))
+            options=NetworkOptions(seed=3, fault=FaultPlan(duplicate_probability=0.3)))
         assert engine.diagnose(alarms).diagnoses == expected
 
     @pytest.mark.parametrize("seed", range(4))

@@ -12,7 +12,8 @@ from repro.datalog import (Database, EvaluationBudget, Query, parse_atom,
                            parse_program, qsq_evaluate)
 from repro.datalog.atom import Atom
 from repro.datalog.naive import load_facts
-from repro.distributed import DDatalogProgram, DqsqEngine, NetworkOptions
+from repro.distributed import (DDatalogProgram, DqsqEngine, FaultPlan,
+                               NetworkOptions)
 from repro.distributed.dqsq import split_input_name
 from repro.datalog.adornment import Adornment
 from repro.errors import BudgetExceeded, DistributedError
@@ -179,8 +180,8 @@ class TestRobustness:
 
     def test_duplicate_deliveries_are_harmless(self):
         dd, edb = setup_figure3()
-        engine = DqsqEngine(dd, edb,
-                            options=NetworkOptions(seed=2, duplicate_probability=0.5))
+        engine = DqsqEngine(dd, edb, options=NetworkOptions(
+            seed=2, fault=FaultPlan(duplicate_probability=0.5)))
         result = engine.query(Query(parse_atom('r@r("1", Y)')))
         assert {f[1].value for f in result.answers} == {"2", "4"}
 

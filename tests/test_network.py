@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.distributed.network import Message, Network, NetworkOptions
+from repro.distributed.network import FaultPlan, Message, Network, NetworkOptions
 from repro.errors import NetworkClosedError, UnknownPeerError
 
 
@@ -108,7 +108,8 @@ class TestDelivery:
             network.run_until_quiescent()
 
     def test_duplicate_injection(self):
-        network = Network(NetworkOptions(seed=1, duplicate_probability=1.0))
+        network = Network(NetworkOptions(
+            seed=1, fault=FaultPlan(duplicate_probability=1.0)))
         b = Recorder("b")
         network.register("a", Recorder("a"))
         network.register("b", b)

@@ -1,0 +1,326 @@
+"""Peer crash/recovery: network-level lifecycle, engine checkpointing,
+and degraded (partial) diagnosis."""
+
+import pytest
+
+from repro.datalog import parse_atom
+from repro.datalog.rule import Query
+from repro.distributed import (DistributedNaiveEngine, DqsqEngine, FaultPlan,
+                               LinkPartition, Network, NetworkOptions,
+                               PeerFaultPlan)
+from repro.errors import DistributedError, PeerUnavailable
+from repro.experiments.registry import _figure3
+
+QUERY = Query(parse_atom('r@r("1", Y)'))
+
+
+class CheckpointableRecorder:
+    """A handler whose whole state is the multiset of payloads it saw."""
+
+    def __init__(self, name, forward_to=None):
+        self.name = name
+        self.forward_to = forward_to
+        self.received = []
+
+    def on_message(self, message, network):
+        self.received.append(message.payload)
+        if self.forward_to is not None:
+            network.send(self.name, self.forward_to, "fwd", message.payload)
+
+    def checkpoint(self):
+        return list(self.received)
+
+    def restore(self, snapshot):
+        self.received = list(snapshot) if snapshot is not None else []
+
+
+class PlainRecorder:
+    """Not checkpointable: crashing it must be an explicit error."""
+
+    def __init__(self):
+        self.received = []
+
+    def on_message(self, message, network):
+        self.received.append(message.payload)
+
+
+def crash_network(peer_fault, fault=None, seed=0, names=("a", "b")):
+    network = Network(NetworkOptions(seed=seed, fault=fault or FaultPlan(),
+                                     peer_fault=peer_fault))
+    handlers = {name: CheckpointableRecorder(name) for name in names}
+    for name, handler in handlers.items():
+        network.register(name, handler)
+    return network, handlers
+
+
+class TestPeerFaultPlanValidation:
+    def test_defaults_are_disabled(self):
+        assert not PeerFaultPlan().enabled()
+
+    def test_any_fault_enables(self):
+        assert PeerFaultPlan(crash_at={"a": (1,)}).enabled()
+        assert PeerFaultPlan(crash_probability=0.1).enabled()
+        assert PeerFaultPlan(
+            partitions=(LinkPartition(a="a", b="b"),)).enabled()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PeerFaultPlan(crash_probability=1.5)
+        with pytest.raises(ValueError):
+            PeerFaultPlan(crash_at={"a": (0,)})
+        with pytest.raises(ValueError):
+            PeerFaultPlan(checkpoint_interval=0)
+        with pytest.raises(ValueError):
+            PeerFaultPlan(down_send_policy="drop")
+        with pytest.raises(ValueError):
+            LinkPartition(a="a", b="a")
+        with pytest.raises(ValueError):
+            LinkPartition(a="a", b="b", heal_after=0)
+
+
+class TestNetworkLifecycle:
+    def test_crash_and_restart_recovers_exact_state(self):
+        network, handlers = crash_network(PeerFaultPlan(
+            crash_at={"b": (3,)}, restart_after_deliveries=2))
+        for i in range(8):
+            network.send("a", "b", "n", i)
+        network.run_until_quiescent()
+        # The restored peer replayed its checkpoint gap and then consumed
+        # the rest: every payload seen at least once, in order by first
+        # occurrence, with no permanent loss.
+        seen = []
+        for payload in handlers["b"].received:
+            if payload not in seen:
+                seen.append(payload)
+        assert seen == list(range(8))
+        assert network.counters["recovery.crashes"] == 1
+        assert network.counters["recovery.restarts"] == 1
+        assert network.counters["recovery.checkpoints_restored"] == 1
+        assert network.is_up("b")
+
+    def test_seed_is_recorded_for_replay(self):
+        network, _handlers = crash_network(PeerFaultPlan(), seed=1234)
+        assert network.counters["net.seed"] == 1234
+
+    def test_permanent_death_raises_peer_unavailable(self):
+        network, _handlers = crash_network(PeerFaultPlan(
+            crash_at={"b": (1,)}, restart_after_deliveries=None))
+        network.send("a", "b", "n", 0)
+        network.send("a", "b", "n", 1)
+        with pytest.raises(PeerUnavailable) as excinfo:
+            network.run_until_quiescent()
+        assert excinfo.value.peers == ("b",)
+        report = excinfo.value.report
+        assert report["b"]["permanently_down"] is True
+        assert report["b"]["crashes"] == 1
+        assert report["b"]["held_frames"] >= 1
+        assert report["a"]["up"] is True
+
+    def test_down_send_policy_fail(self):
+        network, _handlers = crash_network(PeerFaultPlan(
+            crash_at={"b": (1,)}, down_send_policy="fail"))
+        network.send("a", "b", "n", 0)
+        network.step()  # the crash consumes this step
+        assert not network.is_up("b")
+        with pytest.raises(PeerUnavailable):
+            network.send("a", "b", "n", 1)
+
+    def test_flush_policy_still_delivers_via_retransmit(self):
+        network, handlers = crash_network(PeerFaultPlan(
+            crash_at={"b": (2,)}, restart_after_deliveries=2,
+            crash_frame_policy="flush"))
+        for i in range(6):
+            network.send("a", "b", "n", i)
+        network.run_until_quiescent()
+        # Flushed frames are re-sent by the reliability layer, so nothing
+        # is lost end to end.
+        assert sorted(set(handlers["b"].received)) == list(range(6))
+        assert network.counters["recovery.frames_flushed"] >= 1
+
+    def test_crashing_non_checkpointable_peer_is_an_error(self):
+        network = Network(NetworkOptions(peer_fault=PeerFaultPlan(
+            crash_at={"b": (1,)})))
+        network.register("a", CheckpointableRecorder("a"))
+        network.register("b", PlainRecorder())
+        network.send("a", "b", "n", 0)
+        with pytest.raises(DistributedError, match="not checkpointable"):
+            network.run_until_quiescent()
+
+    def test_probabilistic_crashes_are_seeded_and_bounded(self):
+        def run(seed):
+            network, _handlers = crash_network(
+                PeerFaultPlan(crash_probability=0.3, max_random_crashes=1,
+                              restart_after_deliveries=3), seed=seed)
+            for i in range(10):
+                network.send("a", "b", "n", i)
+            network.run_until_quiescent()
+            return network.counters["recovery.crashes"]
+
+        crashes = [run(seed) for seed in range(6)]
+        assert all(c <= 2 for c in crashes)  # one per peer at most
+        assert any(c >= 1 for c in crashes)
+        assert [run(seed) for seed in range(6)] == crashes  # deterministic
+
+    def test_partition_window_heals(self):
+        network, handlers = crash_network(PeerFaultPlan(
+            partitions=(LinkPartition(a="a", b="b", start=0, heal_after=3),)),
+            names=("a", "b", "c"))
+        network.send("a", "b", "n", "cut-me")
+        for i in range(4):
+            network.send("a", "c", "n", i)
+        network.run_until_quiescent()
+        # The partitioned frame is retained and delivered after the heal.
+        assert handlers["b"].received == ["cut-me"]
+        assert handlers["c"].received == [0, 1, 2, 3]
+
+    def test_unhealable_partition_raises(self):
+        network, _handlers = crash_network(PeerFaultPlan(
+            partitions=(LinkPartition(a="a", b="b", heal_after=None),)))
+        network.send("a", "b", "n", 0)
+        with pytest.raises(PeerUnavailable):
+            network.run_until_quiescent()
+
+    def test_stalled_run_brings_restart_forward(self):
+        # Only one message total: after the crash no delivery can advance
+        # the count to the scheduled restart, so the stall forces it.
+        network, handlers = crash_network(PeerFaultPlan(
+            crash_at={"b": (1,)}, restart_after_deliveries=50))
+        network.send("a", "b", "n", 0)
+        network.run_until_quiescent()
+        assert handlers["b"].received == [0]
+        assert network.counters["recovery.restarts"] == 1
+
+    def test_lifecycle_listener_sequence(self):
+        events = []
+
+        class Listener:
+            def on_peer_crash(self, peer, network):
+                events.append(("crash", peer))
+
+            def on_peer_restart(self, peer, network):
+                events.append(("restart", peer))
+
+            def on_peer_recovered(self, peer, network):
+                events.append(("recovered", peer))
+
+        network, _handlers = crash_network(PeerFaultPlan(
+            crash_at={"b": (2,)}, restart_after_deliveries=2))
+        network.add_lifecycle_listener(Listener())
+        for i in range(5):
+            network.send("a", "b", "n", i)
+        network.run_until_quiescent()
+        assert events[0] == ("crash", "b")
+        assert ("restart", "b") in events
+        assert ("recovered", "b") in events
+        assert events.index(("restart", "b")) < events.index(("recovered", "b"))
+
+
+class TestDqsqRecovery:
+    @pytest.mark.parametrize("victim", ["r", "s", "t"])
+    @pytest.mark.parametrize("crash_at", [1, 2, 3])
+    def test_single_crash_restart_recovers_oracle(self, victim, crash_at):
+        program, edb = _figure3()
+        oracle = DqsqEngine(program, edb).query(QUERY).answers
+        options = NetworkOptions(seed=7, peer_fault=PeerFaultPlan(
+            crash_at={victim: (crash_at,)}, restart_after_deliveries=5))
+        result = DqsqEngine(program, edb, options=options,
+                            use_termination_detector=True).query(QUERY)
+        assert result.answers == oracle
+        assert not result.partial
+        assert result.terminated_by_detector is True
+        assert result.counters["recovery.checkpoints_restored"] >= 1
+
+    def test_permanent_death_degrades_to_sound_subset(self):
+        program, edb = _figure3()
+        oracle = DqsqEngine(program, edb).query(QUERY).answers
+        options = NetworkOptions(seed=7, peer_fault=PeerFaultPlan(
+            crash_at={"s": (1,)}, restart_after_deliveries=None))
+        result = DqsqEngine(program, edb, options=options).query(QUERY)
+        assert result.partial
+        assert result.answers <= oracle
+        assert result.peer_failure is not None
+        assert result.peer_failure.peers == ("s",)
+        assert result.peer_report["s"]["permanently_down"] is True
+
+    def test_crash_under_message_faults_too(self):
+        program, edb = _figure3()
+        oracle = DqsqEngine(program, edb).query(QUERY).answers
+        options = NetworkOptions(
+            seed=11,
+            fault=FaultPlan(drop_probability=0.15, max_retries=50),
+            peer_fault=PeerFaultPlan(crash_at={"t": (2,)},
+                                     restart_after_deliveries=10))
+        result = DqsqEngine(program, edb, options=options,
+                            use_termination_detector=True).query(QUERY)
+        assert result.answers == oracle
+        assert not result.partial
+
+    def test_checkpoint_restore_roundtrip_is_lossless(self):
+        # Drive a run, checkpoint a peer mid-flight, clobber it, restore,
+        # and check the restored state answers identically.
+        program, edb = _figure3()
+        options = NetworkOptions(seed=0, peer_fault=PeerFaultPlan(
+            crash_at={"s": (2,)}, restart_after_deliveries=4,
+            checkpoint_interval=2))
+        result = DqsqEngine(program, edb, options=options).query(QUERY)
+        baseline = DqsqEngine(program, edb).query(QUERY)
+        assert result.answers == baseline.answers
+
+
+class TestNaiveDistRecovery:
+    @pytest.mark.parametrize("victim", ["r", "s", "t"])
+    def test_crash_restart_recovers_oracle(self, victim):
+        program, edb = _figure3()
+        oracle = DistributedNaiveEngine(program, edb).query(QUERY).answers
+        options = NetworkOptions(seed=3, peer_fault=PeerFaultPlan(
+            crash_at={victim: (1,)}, restart_after_deliveries=4))
+        result = DistributedNaiveEngine(program, edb,
+                                        options=options).query(QUERY)
+        assert result.answers == oracle
+        assert not result.partial
+        assert result.counters["recovery.checkpoints_restored"] >= 1
+
+    def test_permanent_death_degrades(self):
+        program, edb = _figure3()
+        oracle = DistributedNaiveEngine(program, edb).query(QUERY).answers
+        options = NetworkOptions(seed=3, peer_fault=PeerFaultPlan(
+            crash_at={"t": (1,)}, restart_after_deliveries=None))
+        result = DistributedNaiveEngine(program, edb,
+                                        options=options).query(QUERY)
+        assert result.partial
+        assert result.answers <= oracle
+        assert result.peer_report is not None
+
+
+class TestDiagnosisRecovery:
+    def test_figure1_crash_restart_recovers_diagnosis(self):
+        # The acceptance scenario: any single peer crashes during the
+        # Figure-1 diagnosis and restarts; the diagnosis set is exact and
+        # at least one checkpoint was restored.
+        import repro
+        from repro.workloads.scenarios import get_scenario
+        petri, alarms = get_scenario("figure1-bac").instantiate()
+        oracle = repro.diagnose(petri, alarms, method="bruteforce").diagnoses
+        for victim in sorted(petri.net.peers()):
+            options = NetworkOptions(seed=5, peer_fault=PeerFaultPlan(
+                crash_at={victim: (2,)}, restart_after_deliveries=6))
+            result = repro.diagnose(petri, alarms, method="dqsq",
+                                    options=options,
+                                    use_termination_detector=True)
+            assert result.diagnoses == oracle
+            assert not result.partial
+            assert result.counters["recovery.checkpoints_restored"] >= 1
+
+    def test_figure1_permanent_death_degrades(self):
+        import repro
+        from repro.workloads.scenarios import get_scenario
+        petri, alarms = get_scenario("figure1-bac").instantiate()
+        oracle = repro.diagnose(petri, alarms, method="bruteforce").diagnoses
+        options = NetworkOptions(seed=5, peer_fault=PeerFaultPlan(
+            crash_at={"p2": (1,)}, restart_after_deliveries=None))
+        result = repro.diagnose(petri, alarms, method="dqsq", options=options)
+        assert result.partial
+        assert result.diagnoses <= oracle
+        assert result.peer_report is not None
+        assert result.peer_report["p2"]["permanently_down"] is True
+        assert result.counters["net.peer_unavailable"] == 1

@@ -2,6 +2,8 @@
 
 import pytest
 
+from repro.datalog import Query, parse_atom, parse_program
+from repro.distributed import DDatalogProgram, DqsqEngine
 from repro.distributed.network import (FaultPlan, Message, Network,
                                        NetworkOptions)
 from repro.errors import TransportExhausted
@@ -43,10 +45,11 @@ class TestFaultPlan:
         with pytest.raises(ValueError):
             FaultPlan(delay_distribution=(3, 1))
 
-    def test_duplicate_probability_passthrough_is_deprecated(self):
-        with pytest.warns(DeprecationWarning):
-            options = NetworkOptions(duplicate_probability=0.25)
-        assert options.fault.duplicate_probability == 0.25
+    def test_duplicate_probability_shim_is_gone(self):
+        # The PR-1 deprecation shim has been removed: duplication lives
+        # only on FaultPlan now.
+        with pytest.raises(TypeError):
+            NetworkOptions(duplicate_probability=0.25)
 
 
 class TestLossyFifo:
@@ -152,6 +155,44 @@ class TestExhaustion:
         network.send("a", "b", "x", None)
         with pytest.raises(TransportExhausted):
             network.run_until_quiescent()
+
+
+class TestExhaustedPartialResults:
+    """An exhausted transport must surface a *partial* result -- answers
+    found so far plus the counters of every peer, including the ones on
+    the dead channel -- rather than discarding the run (regression)."""
+
+    RULES = """
+    p@a(X) :- q@b(X).
+    q@b("1").
+    q@b("2").
+    """
+
+    def test_partial_result_carries_failed_peer_counters(self):
+        dd = DDatalogProgram(parse_program(self.RULES))
+        engine = DqsqEngine(dd, options=NetworkOptions(
+            seed=7, fault=FaultPlan(drop_probability=1.0, max_retries=3)))
+        result = engine.query(Query(parse_atom("p@a(X)")))
+        assert result.partial
+        err = result.transport_error
+        assert err is not None and err.retries == 3
+        # The merged counters still include the transport's evidence and
+        # the per-peer work, with both endpoints of the dead channel
+        # individually reported.
+        assert result.counters["net.seed"] == 7
+        assert result.counters["net.retransmits"] >= 3
+        assert result.counters["net.dropped"] >= 4
+        assert set(result.per_peer) == {"a", "b"}
+        assert result.per_peer["a"]["rewritings"] >= 1
+        sender, recipient = err.channel
+        assert err.stats[f"{sender}->{recipient}"]["delivered"] == 0
+
+    def test_fault_free_oracle_for_the_same_program(self):
+        dd = DDatalogProgram(parse_program(self.RULES))
+        engine = DqsqEngine(dd)
+        result = engine.query(Query(parse_atom("p@a(X)")))
+        assert not result.partial
+        assert {f[0].value for f in result.answers} == {"1", "2"}
 
 
 class TestReliabilityOffPath:
