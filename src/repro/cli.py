@@ -103,10 +103,10 @@ def cmd_diagnose(args) -> int:
     if args.crash and args.mode == "dqsq":
         counters = result.counters
         print("recovery: "
-              f"crashes={counters['recovery.crashes']} "
-              f"restarts={counters['recovery.restarts']} "
-              f"checkpoints_restored={counters['recovery.checkpoints_restored']} "
-              f"replayed={counters['recovery.deliveries_replayed']}")
+              f"crashes={counters['net.recovery.crashes']} "
+              f"restarts={counters['net.recovery.restarts']} "
+              f"checkpoints_restored={counters['net.recovery.checkpoints_restored']} "
+              f"replayed={counters['net.recovery.deliveries_replayed']}")
     if result.partial:
         print("WARNING: the run degraded before completing; the diagnosis "
               "set below is a sound partial (lower-bound) result")
@@ -228,13 +228,44 @@ def cmd_lint(args) -> int:
                          depth_bounded=args.depth_bounded, spans=spans)
         failed |= _print_lint_report(path, report)
     if args.registered:
+        from repro.datalog.analysis import index_spans
         from repro.experiments.registry import registered_programs
         for name, entry in sorted(registered_programs().items()):
+            # Registered programs are built in memory, so there are no
+            # source positions; rule-index spans ("rule N") keep the
+            # reports navigable instead of span-less.
             report = analyze(entry.program, entry.query,
                              known_peers=entry.known_peers,
-                             depth_bounded=entry.depth_bounded)
+                             depth_bounded=entry.depth_bounded,
+                             spans=index_spans(entry.program))
             failed |= _print_lint_report(f"<registered:{name}>", report)
     return 1 if failed else 0
+
+
+def cmd_race(args) -> int:
+    from repro.distributed.race import builtin_scenarios, explore, file_scenario
+
+    if args.program:
+        if not args.query:
+            raise ReproError("--program requires --query")
+        try:
+            scenario = file_scenario(args.program, args.query,
+                                     unsafe_negation=args.unsafe_negation)
+        except OSError as err:
+            raise ReproError(str(err)) from err
+    elif args.scenario:
+        scenarios = builtin_scenarios()
+        if args.scenario not in scenarios:
+            raise ReproError(f"unknown race scenario {args.scenario!r}; "
+                             f"choose from {', '.join(sorted(scenarios))}")
+        scenario = scenarios[args.scenario]
+    else:
+        raise ReproError("provide --scenario or --program")
+    report = explore(scenario, budget=args.budget, seed=args.seed)
+    print(report.render())
+    if args.expect_race:
+        return 0 if report.race_detected else 1
+    return 1 if report.race_detected else 0
 
 
 def cmd_chaos(args) -> int:
@@ -324,6 +355,31 @@ def build_parser() -> argparse.ArgumentParser:
                       help="assume a Section-4.4 depth-bound gadget guards "
                            "evaluation (downgrades DD301 to info)")
     lint.set_defaults(func=cmd_lint)
+
+    race = sub.add_parser(
+        "race", help="DPOR-style schedule exploration: replay a run's "
+                     "concurrent delivery pairs in both orders and diff "
+                     "the answer sets")
+    race.add_argument("--scenario", default="",
+                      help="built-in subject: e6 (Figure 1 diagnosis), "
+                           "e9 (Figure 3 + crash/recovery), figure3, racy")
+    race.add_argument("--program", default="",
+                      help="a .dl program file to explore instead")
+    race.add_argument("--query", default="",
+                      help='located query atom for --program, '
+                           'e.g. \'verdict@s(X)\'')
+    race.add_argument("--unsafe-negation", action="store_true",
+                      help="evaluate --program on the distributed naive "
+                           "engine with fire-time negation (the "
+                           "deliberately order-sensitive mode)")
+    race.add_argument("--budget", type=int, default=50,
+                      help="max runs, baseline included")
+    race.add_argument("--seed", type=int, default=0,
+                      help="baseline schedule seed")
+    race.add_argument("--expect-race", action="store_true",
+                      help="invert the exit code: succeed only if a "
+                           "divergence was found (CI regression mode)")
+    race.set_defaults(func=cmd_race)
 
     chaos = sub.add_parser(
         "chaos", help="run seeded randomized fault schedules and check "

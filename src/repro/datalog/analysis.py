@@ -24,6 +24,9 @@ Diagnostic codes (see docs/datalog.md for minimal examples and fixes)::
     DD501 unreachable-rule              rule unreachable from the query
     DD601 cross-product-join            join step with no shared bindings
     DD602 unindexable-join              probe that can never use an index
+    DD701 non-confluent-rule-pair       a rule pair whose firings do not commute
+    DD702 order-sensitive-remainder     located rule negatively depending cross-peer
+    DD703 racy-negation-delegation      negated atom located at a remote peer
 
 The engines run :func:`check_program` fail-fast at construction: errors
 raise :class:`~repro.errors.ProgramAnalysisError` with the rendered
@@ -70,6 +73,9 @@ CODES: dict[str, tuple[str, str]] = {
     "DD501": ("unreachable-rule", WARNING),
     "DD601": ("cross-product-join", WARNING),
     "DD602": ("unindexable-join", WARNING),
+    "DD701": ("non-confluent-rule-pair", WARNING),
+    "DD702": ("order-sensitive-remainder", WARNING),
+    "DD703": ("racy-negation-delegation", WARNING),
 }
 
 
@@ -540,6 +546,211 @@ def check_plans(program: Program,
     return out
 
 
+# -- confluence / commutation analysis ----------------------------------------
+#
+# Positive Datalog is monotone, so the order in which a peer installs
+# incoming facts never changes the fixpoint (Theorem 2's confluence).
+# Stratified negation breaks that: the distributed engines check ``not S``
+# against the database *at fire time*, so a delivery that grows ``S``
+# races against any delivery that triggers the negating rule.  The
+# functions below compute, purely statically, which relation pairs
+# provably commute; the run-time sanitizer (repro.distributed.sanitizer)
+# uses :func:`non_commuting_pairs` to prune benign concurrent deliveries
+# and :func:`check_confluence` reports the DD701/DD702/DD703 findings.
+
+
+def _relation_name(key: RelationKey) -> str:
+    return key[0] if key[1] is None else f"{key[0]}@{key[1]}"
+
+
+def _dependency_edges(
+        program: Program) -> tuple[dict[RelationKey, set[RelationKey]],
+                                   dict[RelationKey, set[RelationKey]]]:
+    """Head -> body edges over *all* relation keys, EDB targets included.
+
+    :class:`DependencyGraph` keeps only IDB edges (all it needs for
+    stratification); commutation must also see negated EDB relations --
+    a fact-only relation negated by a rule is exactly the racy case a
+    replica delivery can flip.
+    """
+    positive: dict[RelationKey, set[RelationKey]] = defaultdict(set)
+    negative: dict[RelationKey, set[RelationKey]] = defaultdict(set)
+    for rule in program.proper_rules():
+        head = rule.head.key()
+        for atom in rule.body:
+            positive[head].add(atom.key())
+        for atom in rule.negated:
+            negative[head].add(atom.key())
+    return positive, negative
+
+
+def _downward_closure(program: Program) -> dict[RelationKey, set[RelationKey]]:
+    """``down[K]`` = {K} ∪ every relation K transitively depends on.
+
+    Read operationally: a delivery writing relation ``X`` can trigger new
+    derivations of ``K`` exactly when ``X ∈ down[K]``.
+    """
+    positive, negative = _dependency_edges(program)
+    keys = set(program.all_relations())
+    keys.update(positive)
+    keys.update(negative)
+    down: dict[RelationKey, set[RelationKey]] = {k: {k} for k in keys}
+    changed = True
+    while changed:
+        changed = False
+        for key in keys:
+            closure = down[key]
+            before = len(closure)
+            for succ in positive.get(key, set()) | negative.get(key, set()):
+                closure.update(down.get(succ, {succ}))
+            if len(closure) != before:
+                changed = True
+    return down
+
+
+def negative_reach(program: Program) -> dict[RelationKey, set[RelationKey]]:
+    """Relations reachable from each key through ≥1 negative edge.
+
+    ``negative_reach(R)`` answers "which relations can influence R's
+    content *non-monotonically*?" -- the fixpoint of::
+
+        negreach(R) = ∪_{S ∈ neg(R)} ({S} ∪ down(S))
+                    ∪ ∪_{S ∈ pos(R)} negreach(S)
+
+    over head -> body edges including EDB targets.
+    """
+    positive, negative = _dependency_edges(program)
+    down = _downward_closure(program)
+    keys = set(down)
+    out: dict[RelationKey, set[RelationKey]] = {k: set() for k in keys}
+    for key in keys:
+        for succ in negative.get(key, ()):
+            out[key].add(succ)
+            out[key].update(down.get(succ, {succ}))
+    changed = True
+    while changed:
+        changed = False
+        for key in keys:
+            reach = out[key]
+            before = len(reach)
+            for succ in positive.get(key, ()):
+                reach.update(out.get(succ, ()))
+            if len(reach) != before:
+                changed = True
+    return out
+
+
+def non_commuting_pairs(program: Program) -> set[frozenset[RelationKey]]:
+    """Relation pairs {A, B} whose delivery order can change the fixpoint.
+
+    A pair fails to commute when some rule ``r`` with a negated atom
+    ``not N`` and positive body atom ``P`` can observe both: ``A`` feeds
+    ``N`` (growing the blocked set) while ``B`` feeds ``P`` (triggering
+    the firing), or vice versa.  Every pair *not* returned provably
+    commutes: both deliveries then only feed monotone (positive)
+    derivations, and set union is order-independent.  Singleton
+    ``frozenset({A})`` entries mean two deliveries writing ``A`` itself
+    race (``A`` feeds both sides of some negation).
+    """
+    down = _downward_closure(program)
+    pairs: set[frozenset[RelationKey]] = set()
+    for rule in program.proper_rules():
+        if not rule.negated:
+            continue
+        for neg_atom in rule.negated:
+            feeds_negation = down.get(neg_atom.key(), {neg_atom.key()})
+            for pos_atom in rule.body:
+                feeds_firing = down.get(pos_atom.key(), {pos_atom.key()})
+                for a in feeds_negation:
+                    for b in feeds_firing:
+                        pairs.add(frozenset((a, b)))
+    return pairs
+
+
+def check_confluence(program: Program) -> list[Diagnostic]:
+    """Order-sensitivity of distributed evaluation: DD701 / DD702 / DD703.
+
+    DD701 (warning): a rule pair that does not commute -- one rule (or
+    program fact) writes relation ``N`` while another negates ``N``;
+    delivering their derivations in either order yields different
+    databases, so the run is only schedule-independent if something else
+    serializes them.
+
+    DD702 (warning): a located rule whose head transitively depends,
+    through at least one negative edge, on a relation located at a
+    *different* peer: the remainder dQSQ delegates for this rule embeds
+    an order-sensitive subcomputation (the paper's Theorems 2-4 assume
+    the monotone fragment).
+
+    DD703 (warning): the direct form -- a located rule negating an atom
+    that lives on a remote peer.  The negation check races against the
+    network delivering that peer's facts.
+    """
+    out: list[Diagnostic] = []
+    negreach = negative_reach(program)
+    writers: dict[RelationKey, list[Rule]] = defaultdict(list)
+    for rule in program:
+        writers[rule.head.key()].append(rule)
+    for rule in program.proper_rules():
+        head_key = rule.head.key()
+        head_peer = rule.head.peer
+        for neg_atom in rule.negated:
+            neg_key = neg_atom.key()
+            racing = [w for w in writers.get(neg_key, []) if w is not rule]
+            if racing:
+                witness = racing[0]
+                kind = "fact" if witness.is_fact() else "rule"
+                out.append(make_diagnostic(
+                    "DD701",
+                    f"rule pair does not commute: this rule negates "
+                    f"{_relation_name(neg_key)} while the {kind} `{witness}` "
+                    f"writes it; the delivery order of their derivations "
+                    f"changes the result",
+                    rule=rule,
+                    suggestion="serialize the pair into strata evaluated in "
+                               "order, or define the complement positively "
+                               "as the paper does for notCausal/notConf"))
+            if head_peer is not None and neg_atom.peer is not None \
+                    and neg_atom.peer != head_peer:
+                out.append(make_diagnostic(
+                    "DD703",
+                    f"negated atom {neg_atom} lives at remote peer "
+                    f"{neg_atom.peer!r}: the fire-time negation check races "
+                    f"against the network delivering that peer's facts",
+                    rule=rule,
+                    suggestion="negate only relations local to the rule's "
+                               "peer, replicated before evaluation starts"))
+        if head_peer is not None:
+            remote = sorted(
+                (key for key in negreach.get(head_key, ())
+                 if key[1] is not None and key[1] != head_peer), key=str)
+            if remote:
+                out.append(make_diagnostic(
+                    "DD702",
+                    f"remainder for {_relation_name(head_key)} is "
+                    f"order-sensitive: it depends through negation on "
+                    f"{', '.join(_relation_name(k) for k in remote)} at "
+                    f"other peer(s), so delegated evaluation is not "
+                    f"confluent under message reordering",
+                    rule=rule,
+                    suggestion="keep cross-peer dependencies monotone; "
+                               "`repro race` can search for a schedule that "
+                               "exhibits the divergence"))
+    return out
+
+
+def index_spans(program: Program) -> dict[Rule, tuple[int, int]]:
+    """Synthetic (rule-index, column-1) spans for Python-built programs.
+
+    Programs registered from Python never pass through the parser, so
+    they have no source spans and ``repro lint --registered`` used to
+    print diagnostics without locations.  The rule's 1-based position in
+    the program is the next best clickable anchor: ``label:3:1`` means
+    "third rule of the registered program".
+    """
+    return {rule: (index + 1, 1) for index, rule in enumerate(program)}
+
+
 # -- the analyzer entry points ------------------------------------------------
 
 
@@ -569,6 +780,7 @@ def analyze(program: Program, query: Query | None = None, *,
         # is deferred to keep repro.datalog free of package cycles.
         from repro.distributed.analysis import check_locality
         diagnostics += check_locality(program, known_peers)
+        diagnostics += check_confluence(program)
     if query is not None:
         diagnostics += check_reachability(program, query)
     if plan_warnings:

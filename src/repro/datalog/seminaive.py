@@ -91,6 +91,28 @@ class IncrementalEvaluator:
         self._cursor: dict[RelationKey, int] = {}
         self._log_position = 0
 
+    def reset(self, db: Database) -> None:
+        """Rebind to a fresh database and drop every derived structure.
+
+        The checkpoint/restore path on the distributed peers calls this
+        instead of constructing a new evaluator.  Crucially it clears the
+        compiled-plan cache: plans are keyed by ``id(rule)``
+        (see :func:`repro.datalog.plan.plan_for`), and after a restore
+        the re-installed rule objects are *new* allocations -- a stale
+        entry whose key id got recycled by the allocator would hand back
+        a plan compiled for a different rule, silently probing the wrong
+        indexes.  Counters survive: recovery work is real work.
+        """
+        self.db = db
+        self._plans.clear()
+        self._plan_stats = PlanStats()
+        self._rules = []
+        self._seen_rules = set()
+        self._pending_rules = []
+        self._by_body = defaultdict(list)
+        self._cursor = {}
+        self._log_position = 0
+
     def add_rule(self, rule: Rule) -> bool:
         """Register a rule; facts go straight to the store."""
         if rule in self._seen_rules:

@@ -20,6 +20,11 @@ from repro.distributed.termination import DijkstraScholten
 from repro.distributed.analysis import check_locality
 from repro.distributed.chaos import (ChaosConfig, ChaosReport, make_schedule,
                                      run_chaos)
+from repro.distributed.trace import TraceEvent, TraceRecorder
+from repro.distributed.sanitizer import Conflict, SanitizerReport, sanitize
+from repro.distributed.race import (RaceReport, RaceScenario,
+                                    builtin_scenarios, explore,
+                                    file_scenario)
 
 __all__ = [
     "Network", "Message", "NetworkOptions", "FaultPlan",
@@ -30,4 +35,8 @@ __all__ = [
     "DijkstraScholten",
     "check_locality",
     "ChaosConfig", "ChaosReport", "make_schedule", "run_chaos",
+    "TraceEvent", "TraceRecorder",
+    "Conflict", "SanitizerReport", "sanitize",
+    "RaceReport", "RaceScenario", "builtin_scenarios", "explore",
+    "file_scenario",
 ]

@@ -28,8 +28,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from typing import Protocol
 
-from repro.datalog.rule import Query
+from repro.datalog.rule import Program, Query
 from repro.distributed.dqsq import DqsqEngine
 from repro.distributed.network import (FaultPlan, LinkPartition,
                                        NetworkOptions, PeerFaultPlan)
@@ -90,6 +91,11 @@ class ScheduleOutcome:
     violation: str | None
     description: str
     counters: Counters | None = None
+    #: sanitizer verdict of a violating schedule, from a traced replay:
+    #: either the concrete delivery races that explain the divergence or
+    #: the statement that the schedule was race-free (pointing the blame
+    #: at the recovery machinery itself)
+    explanation: str | None = None
 
 
 @dataclass
@@ -122,6 +128,8 @@ class ChaosReport:
         for outcome in self.violations():
             lines.append(f"  VIOLATION schedule {outcome.index} "
                          f"[{outcome.description}]: {outcome.violation}")
+            if outcome.explanation:
+                lines.append("    " + outcome.explanation.replace("\n", "\n    "))
         if self.ok():
             lines.append("  invariants held: completed == oracle, degraded <= oracle")
         return "\n".join(lines)
@@ -174,6 +182,22 @@ def make_schedule(config: ChaosConfig, index: int,
                          description=" ".join(parts) or "fault-free")
 
 
+#: (answers, partial, attributed, counters) of one problem run
+_RunResult = tuple[frozenset, bool, bool, Counters]
+
+
+class ChaosProblem(Protocol):
+    """A workload the chaos harness can run under arbitrary options."""
+
+    name: str
+    peers: tuple[str, ...]
+    #: what the sanitizer's commutation oracle analyzes on a violation
+    analysis_program: Program
+
+    def run(self, options: NetworkOptions | None) -> _RunResult:  # pragma: no cover
+        ...
+
+
 class _Figure3Problem:
     """The Figure-3 dQSQ query: 3 peers, fast enough for wide campaigns."""
 
@@ -185,8 +209,10 @@ class _Figure3Problem:
         self._program, self._edb = _figure3()
         self._query = Query(parse_atom('r@r("1", Y)'))
         self.peers = tuple(sorted(self._program.peers()))
+        #: what the sanitizer's commutation oracle analyzes
+        self.analysis_program = self._program.program
 
-    def run(self, options: NetworkOptions | None):
+    def run(self, options: NetworkOptions | None) -> _RunResult:
         engine = DqsqEngine(self._program, self._edb,
                             options=options or NetworkOptions(),
                             use_termination_detector=True, check=False)
@@ -202,12 +228,17 @@ class _DiagnosisProblem:
     """A full dQSQ diagnosis of a named workload scenario."""
 
     def __init__(self, scenario: str) -> None:
+        from repro.diagnosis.supervisor import SupervisorEncoder
         from repro.workloads.scenarios import get_scenario
         self.name = scenario
         self._petri, self._alarms = get_scenario(scenario).instantiate()
         self.peers = tuple(sorted(self._petri.net.peers()))
+        #: what the sanitizer's commutation oracle analyzes -- the same
+        #: encoding diagnose() builds internally
+        self.analysis_program = SupervisorEncoder(
+            self._petri, self._alarms).program().program
 
-    def run(self, options: NetworkOptions | None):
+    def run(self, options: NetworkOptions | None) -> _RunResult:
         import repro
         result = repro.diagnose(self._petri, self._alarms, method="dqsq",
                                 options=options or NetworkOptions(),
@@ -218,7 +249,7 @@ class _DiagnosisProblem:
                 attributed, result.counters)
 
 
-def _make_problem(name: str):
+def _make_problem(name: str) -> ChaosProblem:
     if name == "figure3":
         return _Figure3Problem()
     return _DiagnosisProblem(name)
@@ -240,7 +271,7 @@ def run_chaos(config: ChaosConfig | None = None) -> ChaosReport:
     return report
 
 
-def _run_schedule(problem, schedule: ChaosSchedule,
+def _run_schedule(problem: ChaosProblem, schedule: ChaosSchedule,
                   oracle: frozenset) -> ScheduleOutcome:
     try:
         answers, partial, attributed, counters = problem.run(schedule.options)
@@ -269,6 +300,40 @@ def _run_schedule(problem, schedule: ChaosSchedule,
             extra = sorted(answers - oracle)
             violation = (f"completed run differs from oracle "
                          f"(missing {missing}, extra {extra})")
+    explanation = None
+    if violation is not None:
+        explanation = _explain_violation(problem, schedule)
     return ScheduleOutcome(index=schedule.index, status=status, equal=equal,
                            subset=subset, violation=violation,
-                           description=schedule.description, counters=counters)
+                           description=schedule.description, counters=counters,
+                           explanation=explanation)
+
+
+def _explain_violation(problem: ChaosProblem,
+                       schedule: ChaosSchedule) -> str:
+    """Replay a violating schedule under the sanitizer.
+
+    The replay is deterministic (same options, the tracer only observes),
+    so the happens-before verdict speaks about the very run that broke
+    the invariant: a conflict names the racing deliveries; a clean
+    verdict rules races out and points the blame at the recovery
+    machinery instead.
+    """
+    from dataclasses import replace
+
+    from repro.distributed.sanitizer import sanitize
+    from repro.distributed.trace import TraceRecorder
+
+    recorder = TraceRecorder()
+    try:
+        problem.run(replace(schedule.options, tracer=recorder))
+    except (NetworkClosedError, BudgetExceeded, ReproError) as err:
+        return f"sanitizer replay aborted ({err})"
+    report = sanitize(recorder, problem.analysis_program)
+    if report.schedule_independent:
+        return ("sanitizer: replayed schedule is race-free "
+                f"({report.deliveries} deliveries, "
+                f"{report.pairs_concurrent} concurrent pair(s), all "
+                "commuting) -- suspect the recovery machinery, not "
+                "message reordering")
+    return report.render()

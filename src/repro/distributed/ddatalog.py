@@ -11,7 +11,7 @@ package are checked against that reference semantics.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable
+from typing import Iterable, Iterator
 
 from repro.datalog.atom import Atom
 from repro.datalog.database import Database, Fact
@@ -60,7 +60,7 @@ class DDatalogProgram:
     def __len__(self) -> int:
         return len(self.program)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Rule]:
         return iter(self.program)
 
     def __str__(self) -> str:

@@ -28,7 +28,7 @@ traffic is (a) delegation requests and (b) streamed tuples of demand
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Sequence
 
 from repro.datalog.adornment import Adornment, adorned_name, input_name
 from repro.datalog.atom import Atom, Inequality
@@ -144,10 +144,13 @@ class _DqsqPeer:
         through dispatch and demand processing afterwards.  Counters are
         deliberately *not* rolled back: recovery work is real work.
         """
-        self.counters.add("recovery.restores")
+        self.counters.add("net.recovery.restores")
         self.db = Database()
-        self.evaluator = IncrementalEvaluator(self.db, self.budget,
-                                              compiled=self._compiled)
+        # Reuse the evaluator via reset() rather than rebuilding it: the
+        # reset clears the id-keyed compiled-plan cache, so re-installed
+        # rule fragments can never hit a plan compiled for a pre-crash
+        # rule object whose id() the allocator happened to recycle.
+        self.evaluator.reset(self.db)
         self.processed = set()
         self.readers = {}
         self._dispatched = {}
@@ -161,7 +164,7 @@ class _DqsqPeer:
                 self.db.add_all(key, tuples, assume_ground=True)
             for rule in snapshot["rules"]:
                 self._install(rule)
-                self.counters.add("recovery.refired_rules")
+                self.counters.add("net.recovery.refired_rules")
             self.evaluator.run()
             self.processed = set(snapshot["processed"])
             self.readers = {key: set(names)
@@ -214,7 +217,8 @@ class _DqsqPeer:
         answer_key = (adorned_name(relation, adornment), self.name)
         self._register_reader(answer_key, reply_to, network)
         in_key = (input_name(relation, adornment), self.name)
-        self.db.add(in_key, tuple(payload["bound"]))
+        if self.db.add(in_key, tuple(payload["bound"])):
+            network.trace_marker("demand", self.name, (in_key,))
 
     # -- demand-driven local rewriting ----------------------------------------------
 
@@ -252,6 +256,7 @@ class _DqsqPeer:
                 self.processed.add((base, adornment.pattern))
                 continue
             self.processed.add((base, adornment.pattern))
+            network.trace_marker("demand", self.name, (key,))
             self._rewrite_relation(base, adornment, network)
             progressed = True
         return progressed
@@ -392,7 +397,8 @@ class _DqsqPeer:
         self._send(network, recipient, KIND_FACTS,
                    {"relation": key[0], "home": key[1], "tuples": tuples})
 
-    def _send(self, network: Network, recipient: str, kind: str, payload) -> None:
+    def _send(self, network: Network, recipient: str, kind: str,
+              payload: Any) -> None:
         if self.detector is not None:
             self.detector.on_basic_send(self.name)
         network.send(self.name, recipient, kind, payload)

@@ -35,7 +35,8 @@ KIND_FACTS = "facts"
 class _NaivePeer:
     """One peer of the distributed naive evaluation."""
 
-    def __init__(self, name: str, rules: Sequence[Rule], budget: EvaluationBudget) -> None:
+    def __init__(self, name: str, rules: Sequence[Rule], budget: EvaluationBudget,
+                 unsafe_negation: bool = False) -> None:
         self.name = name
         self.rules = Program(rules)
         self.db = Database()
@@ -45,6 +46,10 @@ class _NaivePeer:
         self.subscribers: dict[str, set[str]] = {}
         self.subscriptions: set[RelationKey] = set()
         self.counters = Counters()
+        #: subscribe to negated atoms too, evaluating the negation at
+        #: fire time against whatever replica has arrived -- knowingly
+        #: order-sensitive (see DistributedNaiveEngine)
+        self.unsafe_negation = unsafe_negation
 
     # -- checkpoint / restore -----------------------------------------------------
 
@@ -69,9 +74,12 @@ class _NaivePeer:
         rebuilds the evaluator's frontier.  Counters are kept: recovery
         work is real work.
         """
-        self.counters.add("recovery.restores")
+        self.counters.add("net.recovery.restores")
         self.db = Database()
-        self.evaluator = IncrementalEvaluator(self.db, self.budget)
+        # reset() also clears the evaluator's compiled-plan cache, which
+        # is keyed by id(rule): re-activated rules must never alias a
+        # plan compiled for a recycled pre-crash rule object.
+        self.evaluator.reset(self.db)
         self.active = set()
         self.subscribers = {}
         self.subscriptions = set()
@@ -86,7 +94,7 @@ class _NaivePeer:
         for relation in sorted(self.active):
             for rule in self.rules.rules_for(relation, self.name):
                 self.evaluator.add_rule(rule)
-                self.counters.add("recovery.refired_rules")
+                self.counters.add("net.recovery.refired_rules")
         self.evaluator.run()
 
     # -- activation -------------------------------------------------------------
@@ -100,7 +108,12 @@ class _NaivePeer:
         for rule in self.rules.rules_for(relation, self.name):
             self.counters.add("rules_activated")
             self.evaluator.add_rule(rule)
-            for atom in rule.body:
+            atoms = rule.body
+            if self.unsafe_negation:
+                # Negated atoms need their replica too -- without it the
+                # fire-time negation check would see an empty relation.
+                atoms = rule.body + rule.negated
+            for atom in atoms:
                 if atom.peer == self.name:
                     self.activate(atom.relation, network)
                 elif (atom.relation, atom.peer) not in self.subscriptions:
@@ -182,18 +195,26 @@ class DistributedNaiveEngine:
     def __init__(self, program: DDatalogProgram, edb: Database | None = None,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
-                 check: bool = True) -> None:
+                 check: bool = True, unsafe_negation: bool = False) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.options = options or NetworkOptions()
         self._edb = edb or Database()
+        self.unsafe_negation = unsafe_negation
         if check:
             from repro.datalog.analysis import check_program
             # DD403 escalates to an error here: peers never subscribe to
             # negated atoms, so the negation would be silently ignored.
+            # ``unsafe_negation=True`` opts out: peers then *do* subscribe
+            # to negated atoms and check the negation at fire time against
+            # whatever replica has arrived.  That is deliberately
+            # order-sensitive -- it exists so the sanitizer and the
+            # ``repro race`` explorer have a live subject whose races
+            # (DD701/DD702/DD703) are observable, not masked.
+            escalate = () if unsafe_negation else ("DD403",)
             check_program(program.program, context="naive-dist",
                           depth_bounded=self.budget.max_term_depth is not None,
-                          escalate=("DD403",))
+                          escalate=escalate)
 
     def query(self, query: Query) -> NaiveDistResult:
         """Evaluate ``query`` (whose atom must be located) to fixpoint."""
@@ -207,7 +228,8 @@ class DistributedNaiveEngine:
             if key[1] is not None:
                 names.add(key[1])
         for name in sorted(names):
-            peer = _NaivePeer(name, self.program.rules_at(name), self.budget)
+            peer = _NaivePeer(name, self.program.rules_at(name), self.budget,
+                              unsafe_negation=self.unsafe_negation)
             peers[name] = peer
             network.register(name, peer)
         for key in self._edb.relations():

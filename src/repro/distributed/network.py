@@ -195,6 +195,12 @@ class NetworkOptions:
     max_deliveries: int = 1_000_000
     fault: FaultPlan = FaultPlan()
     peer_fault: PeerFaultPlan = PeerFaultPlan()
+    #: observer of sends/deliveries/lifecycle events (vector-clocked
+    #: tracing for the sanitizer); None = no tracing overhead
+    tracer: "RunTracer | None" = None
+    #: overrides the scheduler's channel choice (DPOR-style replay);
+    #: None = the default seeded ``rng.choice`` draw
+    chooser: "ScheduleChooser | None" = None
 
     def rng(self) -> random.Random:
         """The one seeded generator behind every scheduler and fault draw.
@@ -221,6 +227,51 @@ class PeerHandler(Protocol):
     """Anything that can receive messages from the network."""
 
     def on_message(self, message: Message, network: "Network") -> None:  # pragma: no cover
+        ...
+
+
+class RunTracer(Protocol):
+    """Observer of a run's causally ordered events.
+
+    Implemented by :class:`repro.distributed.trace.TraceRecorder`; the
+    network calls the hooks but never depends on the concrete type, so
+    the trace/sanitizer layer stays an optional import.  ``on_send``
+    fires for every logical message (transport acks are invisible: they
+    never reach a handler); ``on_deliver_begin`` fires before the
+    recipient's handler runs (so sends from inside the handler are
+    ordered after the delivery) and ``on_deliver_end`` after it, carrying
+    the relation keys the handler wrote.
+    """
+
+    def on_send(self, message: Message) -> None:  # pragma: no cover
+        ...
+
+    def on_deliver_begin(self, message: Message, replay: bool,
+                         pick_index: int | None) -> None:  # pragma: no cover
+        ...
+
+    def on_deliver_end(self, writes: tuple) -> None:  # pragma: no cover
+        ...
+
+    def on_marker(self, kind: str, peer: str,
+                  writes: tuple = ()) -> None:  # pragma: no cover
+        ...
+
+    def on_lifecycle(self, kind: str, peer: str) -> None:  # pragma: no cover
+        ...
+
+
+class ScheduleChooser(Protocol):
+    """Overrides the scheduler's channel choice (see repro.distributed.race).
+
+    ``choose`` receives the sorted eligible channels and the network's
+    seeded generator; drawing from the generator (or not) is part of the
+    contract -- a chooser that wants to reproduce the default schedule
+    must draw exactly like ``rng.choice``.
+    """
+
+    def choose(self, eligible: list[tuple[str, str]],
+               rng: random.Random) -> tuple[str, str]:  # pragma: no cover
         ...
 
 
@@ -340,6 +391,10 @@ class Network:
         self.counters = Counters()
         self.counters.set_max("net.seed", self.options.seed)
         self._rng = self.options.rng()
+        self._tracer = self.options.tracer
+        self._chooser = self.options.chooser
+        #: ordinal of the latest scheduler pick (see ScheduleChooser)
+        self._pick_index = 0
         self._handlers: dict[str, PeerHandler] = {}
         self._channels: dict[tuple[str, str], deque[_Frame]] = {}
         self._states: dict[tuple[str, str], _ChannelState] = {}
@@ -385,6 +440,24 @@ class Network:
 
     def peers(self) -> tuple[str, ...]:
         return tuple(sorted(self._handlers))
+
+    def handler(self, name: str) -> PeerHandler:
+        """The registered handler for ``name`` (raises for unknown peers)."""
+        try:
+            return self._handlers[name]
+        except KeyError:
+            raise UnknownPeerError(f"unknown peer {name}") from None
+
+    def trace_marker(self, kind: str, peer: str, writes: tuple = ()) -> None:
+        """Record an intra-handler application event on the active tracer.
+
+        Peers call this for causally significant local events that are
+        not deliveries -- the dQSQ engine marks every demand-tuple
+        installation.  A no-op without a tracer, so peers need no
+        tracing-enabled check of their own.
+        """
+        if self._tracer is not None:
+            self._tracer.on_marker(kind, peer, writes)
 
     def add_monitor(self, callback: Callable[[Message], None]) -> None:
         """Observe every handler delivery (used by the termination tests).
@@ -448,7 +521,9 @@ class Network:
                    for channel, state in self._states.items()
                    if channel[1] == peer}
         self._checkpoints[peer] = _PeerCheckpoint(blob, inbound)
-        self.counters.add("recovery.checkpoints_taken")
+        if self._tracer is not None:
+            self._tracer.on_lifecycle("checkpoint", peer)
+        self.counters.add("net.recovery.checkpoints_taken")
 
     def _capture_baseline(self) -> None:
         """Checkpoint every checkpointable peer before the first delivery."""
@@ -480,7 +555,9 @@ class Network:
         self._down[peer] = (self._delivered_total + restart_after
                             if restart_after is not None else None)
         self._crash_counts[peer] = self._crash_counts.get(peer, 0) + 1
-        self.counters.add("recovery.crashes")
+        if self._tracer is not None:
+            self._tracer.on_lifecycle("crash", peer)
+        self.counters.add("net.recovery.crashes")
         for channel, state in self._states.items():
             if channel[1] != peer:
                 continue
@@ -504,7 +581,7 @@ class Network:
                         # The copy is gone from the wire; let the
                         # retransmission timer re-send it later.
                         pending.in_flight -= 1
-                    self.counters.add("recovery.frames_flushed")
+                    self.counters.add("net.recovery.frames_flushed")
                 queue.clear()
         for listener in self._lifecycle:
             listener.on_peer_crash(peer, self)
@@ -513,13 +590,15 @@ class Network:
         """Bring ``peer`` back: restore its checkpoint and replay the gap."""
         del self._down[peer]
         self._restart_counts[peer] = self._restart_counts.get(peer, 0) + 1
-        self.counters.add("recovery.restarts")
+        if self._tracer is not None:
+            self._tracer.on_lifecycle("restart", peer)
+        self.counters.add("net.recovery.restarts")
         checkpoint = self._checkpoints.get(peer)
         handler = self._handlers[peer]
         snapshot = pickle.loads(checkpoint.blob) if checkpoint else None
         handler.restore(snapshot)  # type: ignore[attr-defined]
         if checkpoint is not None:
-            self.counters.add("recovery.checkpoints_restored")
+            self.counters.add("net.recovery.checkpoints_restored")
         replayed = 0
         inbound = {channel for channel in (set(self._history) | set(self._states))
                    if channel[1] == peer}
@@ -541,7 +620,7 @@ class Network:
                 for frame in reversed(replay):
                     queue.appendleft(frame)
                 replayed += len(replay)
-        self.counters.add("recovery.frames_replayed", replayed)
+        self.counters.add("net.recovery.frames_replayed", replayed)
         for listener in self._lifecycle:
             listener.on_peer_restart(peer, self)
         if self._caught_up(peer):
@@ -583,7 +662,7 @@ class Network:
             self._restart_peer(name)
         else:
             self._partitions[int(name)].healed = True
-            self.counters.add("recovery.partitions_healed")
+            self.counters.add("net.recovery.partitions_healed")
         return True
 
     # -- sending / delivery ---------------------------------------------------
@@ -624,6 +703,8 @@ class Network:
         if self._peer_faults:
             self._history.setdefault(channel, []).append(message)
         self._enqueue(channel, frame)
+        if self._tracer is not None:
+            self._tracer.on_send(message)
         self.counters.add("messages_sent")
         self.counters.add(f"messages_sent[{kind}]")
 
@@ -675,7 +756,16 @@ class Network:
                     self._clock = min(self._channels[key][0].eligible_at
                                       for key in deliverable)
                     continue
-                channel = self._rng.choice(sorted(eligible))
+                ordered = sorted(eligible)
+                if self._chooser is not None:
+                    channel = self._chooser.choose(ordered, self._rng)
+                    if channel not in ordered:
+                        raise UnknownPeerError(
+                            f"chooser picked channel {channel} which is not "
+                            f"eligible")
+                else:
+                    channel = self._rng.choice(ordered)
+                self._pick_index += 1
                 if self._peer_faults and self._should_crash(channel[1]):
                     self._crash_peer(channel[1])
                     self._clock += 1
@@ -770,7 +860,7 @@ class Network:
         # flag the re-run so layers above skip double accounting.
         replayed = frame.channel_seq < self._ds_watermark.get(channel, 0)
         if replayed:
-            self.counters.add("recovery.deliveries_replayed")
+            self.counters.add("net.recovery.deliveries_replayed")
             self.delivering_replayed = True
             try:
                 self._deliver(frame.message)
@@ -847,7 +937,29 @@ class Network:
         self._delivered_total += 1
         for monitor in self._monitors:
             monitor(message)
-        self._handlers[message.recipient].on_message(message, self)
+        handler = self._handlers[message.recipient]
+        if self._tracer is None:
+            handler.on_message(message, self)
+        else:
+            # The begin hook runs before the handler so that messages
+            # the handler sends are causally ordered after the delivery;
+            # the end hook attaches the write set probed from the peer
+            # database's change log (peers without a ``db`` attribute
+            # trace with an empty write set).
+            self._tracer.on_deliver_begin(message, self.delivering_replayed,
+                                          self._pick_index)
+            db = getattr(handler, "db", None)
+            log = db.change_log() if db is not None else None
+            before = len(log) if log is not None else 0
+            try:
+                handler.on_message(message, self)
+            finally:
+                db = getattr(handler, "db", None)
+                writes: tuple = ()
+                if db is not None:
+                    log = db.change_log()
+                    writes = tuple(dict.fromkeys(log[before:]))
+                self._tracer.on_deliver_end(writes)
         if self._peer_faults:
             self._after_delivery(message.recipient)
 

@@ -1,0 +1,162 @@
+"""Happens-before race detection over vector-clocked run traces.
+
+The paper's Theorems 2-4 claim the distributed diagnosis is *confluent*:
+every message interleaving yields the same diagnosis set.  That is a
+theorem about the monotone fragment -- and nothing in a concrete run
+certifies that the program actually stayed inside it.  This module is
+the run-time half of that certificate (a ThreadSanitizer for simulated
+peers): given the :class:`~repro.distributed.trace.TraceRecorder` of a
+run and the program it evaluated, it
+
+1. finds every pair of deliveries to the **same peer** whose *sends*
+   were causally concurrent -- the scheduler could have delivered them
+   in the opposite order (same-sender pairs are exempt: channels are
+   FIFO, so their order is not a scheduler freedom);
+2. prunes the pairs whose write sets provably commute, using the static
+   commutation oracle
+   :func:`repro.datalog.analysis.non_commuting_pairs` -- for a positive
+   program *every* pair commutes (set union is order-independent), which
+   is exactly the paper's confluence argument;
+3. reports the survivors as :class:`Conflict` records: concurrent
+   deliveries whose reordering can change installed remainders or the
+   final diagnosis set.  The ``repro race`` explorer replays exactly
+   these, and the chaos harness attaches them to failure explanations.
+
+A clean report is machine-checked evidence of schedule-independence *for
+that run*; a conflict is a concrete race witness with the offending
+relation pair attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datalog.analysis import non_commuting_pairs
+from repro.datalog.rule import Program
+from repro.distributed.trace import (RelationKey, TraceEvent, TraceRecorder,
+                                     vc_concurrent)
+from repro.utils.counters import Counters
+
+
+def _relation_name(key: RelationKey) -> str:
+    return key[0] if key[1] is None else f"{key[0]}@{key[1]}"
+
+
+@dataclass(frozen=True)
+class Conflict:
+    """Two concurrent deliveries at one peer touching non-commuting relations."""
+
+    peer: str
+    first: TraceEvent
+    second: TraceEvent
+    #: the witnessing non-commuting relation pair(s), e.g. {alarm@p1, suspect@p2}
+    relations: tuple[frozenset[RelationKey], ...]
+
+    def describe(self) -> str:
+        witnesses = "; ".join(
+            " vs ".join(sorted(_relation_name(k) for k in pair))
+            for pair in self.relations)
+        return (f"race at {self.peer}: {self.first.describe()} || "
+                f"{self.second.describe()} touching non-commuting "
+                f"relations ({witnesses})")
+
+
+@dataclass
+class SanitizerReport:
+    """Verdict of one sanitized run."""
+
+    conflicts: list[Conflict]
+    #: concurrent same-peer pairs whose write sets commute -- harmless
+    #: scheduler freedoms; the ``repro race`` explorer still probes them
+    #: to demonstrate (not just assert) schedule-independence
+    benign: list[tuple[TraceEvent, TraceEvent]] = field(default_factory=list)
+    events: int = 0
+    deliveries: int = 0
+    pairs_checked: int = 0
+    pairs_concurrent: int = 0
+    pairs_pruned_commuting: int = 0
+    counters: Counters = field(default_factory=Counters)
+
+    @property
+    def schedule_independent(self) -> bool:
+        """No conflicting concurrent pair: reordering cannot change the run."""
+        return not self.conflicts
+
+    def render(self) -> str:
+        lines = [f"sanitizer: {self.events} events, {self.deliveries} "
+                 f"deliveries, {self.pairs_concurrent} concurrent pair(s), "
+                 f"{self.pairs_pruned_commuting} pruned as commuting"]
+        if self.schedule_independent:
+            lines.append("verdict: schedule-independent (no conflicting "
+                         "concurrent deliveries)")
+        else:
+            lines.append(f"verdict: {len(self.conflicts)} conflicting "
+                         f"concurrent pair(s)")
+            lines += [f"  {c.describe()}" for c in self.conflicts]
+        return "\n".join(lines)
+
+
+def sanitize(recorder: TraceRecorder, program: Program) -> SanitizerReport:
+    """Build the happens-before graph of a recorded run and flag races.
+
+    ``program`` drives the static commutation oracle; pass the program
+    the run actually evaluated (for diagnosis runs, the encoder's
+    program).  Events recorded before a message's send was observed are
+    treated conservatively: an empty send clock is ordered before
+    everything, so such deliveries never produce false races.
+    """
+    oracle = non_commuting_pairs(program)
+    report = SanitizerReport(conflicts=[])
+    report.events = len(recorder.events)
+    deliveries = recorder.deliveries()
+    report.deliveries = len(deliveries)
+
+    by_peer: dict[str, list[TraceEvent]] = {}
+    for event in deliveries:
+        by_peer.setdefault(event.peer, []).append(event)
+
+    for peer in sorted(by_peer):
+        events = by_peer[peer]
+        for i, first in enumerate(events):
+            for second in events[i + 1:]:
+                if first.sender == second.sender:
+                    continue          # FIFO channel: order is not a freedom
+                report.pairs_checked += 1
+                if not vc_concurrent(first.send_clock or {},
+                                     second.send_clock or {}):
+                    continue
+                report.pairs_concurrent += 1
+                witnesses = _conflicting_relations(first.writes, second.writes,
+                                                   oracle)
+                if witnesses:
+                    report.conflicts.append(Conflict(
+                        peer=peer, first=first, second=second,
+                        relations=witnesses))
+                else:
+                    report.pairs_pruned_commuting += 1
+                    report.benign.append((first, second))
+
+    counters = report.counters
+    counters.add("sanitizer.events", report.events)
+    counters.add("sanitizer.deliveries", report.deliveries)
+    counters.add("sanitizer.pairs_checked", report.pairs_checked)
+    counters.add("sanitizer.pairs_concurrent", report.pairs_concurrent)
+    counters.add("sanitizer.pairs_pruned_commuting",
+                 report.pairs_pruned_commuting)
+    counters.add("sanitizer.conflicts", len(report.conflicts))
+    return report
+
+
+def _conflicting_relations(
+        writes_a: tuple[RelationKey, ...], writes_b: tuple[RelationKey, ...],
+        oracle: set[frozenset[RelationKey]]) -> tuple[frozenset[RelationKey], ...]:
+    """The non-commuting relation pairs witnessed by two write sets."""
+    out: list[frozenset[RelationKey]] = []
+    seen: set[frozenset[RelationKey]] = set()
+    for a in writes_a:
+        for b in writes_b:
+            pair = frozenset((a, b))
+            if pair in oracle and pair not in seen:
+                seen.add(pair)
+                out.append(pair)
+    return tuple(out)

@@ -1,0 +1,175 @@
+"""Vector-clocked trace events for simulated distributed runs.
+
+The sanitizer (``repro.distributed.sanitizer``) needs to know, for any
+two events of a run, whether one *happened before* the other or whether
+they were genuinely concurrent -- i.e. whether the scheduler could have
+delivered them in the opposite order.  The classic instrument is a
+vector clock per peer (Fidge/Mattern): a send ticks the sender's
+component, a delivery ticks the recipient's component and merges the
+clock the message carried, and two events are concurrent exactly when
+neither clock dominates the other.
+
+:class:`TraceRecorder` is that instrument for the simulated network.
+The network drives it through four hooks (see
+:class:`repro.distributed.network.RunTracer`):
+
+* ``on_send`` -- every logical message enqueued through
+  :meth:`Network.send`, including Dijkstra-Scholten ``ds-ack`` traffic.
+  Transport-level acknowledgement frames never reach handlers and are
+  deliberately invisible here: they carry no application state.
+* ``on_deliver_begin`` / ``on_deliver_end`` -- around each handler run.
+  The begin hook establishes the causal order *before* the handler
+  executes, so messages the handler sends are correctly ordered after
+  the delivery; the end hook attaches the delivery's *write set* (the
+  relation keys that gained facts while the handler ran, probed from
+  the peer database's change log).
+* ``on_marker`` -- intra-handler application events: the dQSQ peers mark
+  every demand-tuple installation so the sanitizer can tie remainder
+  delegation to the delivery that caused it.
+* ``on_lifecycle`` -- checkpoint / crash / restart events, so recovery
+  replays are causally anchored at the restart rather than floating at
+  their original position.
+
+The recorder observes; it never changes scheduling.  Replaying a
+*different* schedule is the job of the choosers in
+``repro.distributed.race``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.distributed.network import Message
+
+#: peer name -> number of events observed at that peer
+VectorClock = dict[str, int]
+
+#: (relation, peer) -- mirrors repro.datalog.analysis.RelationKey
+RelationKey = tuple[str, str | None]
+
+
+def vc_leq(a: VectorClock, b: VectorClock) -> bool:
+    """``a`` happened-before-or-equals ``b`` (componentwise <=)."""
+    return all(value <= b.get(peer, 0) for peer, value in a.items())
+
+
+def vc_concurrent(a: VectorClock, b: VectorClock) -> bool:
+    """Neither clock dominates: the events could have been reordered."""
+    return not vc_leq(a, b) and not vc_leq(b, a)
+
+
+@dataclass
+class TraceEvent:
+    """One observed event of a run.
+
+    ``clock`` is the observing peer's vector clock *after* the event;
+    ``send_clock`` (deliver events only) is the clock the message
+    carried, i.e. the sender's clock at send time.  Race detection
+    compares ``send_clock``s: two deliveries at the same peer always
+    have ordered delivery clocks (the local component carries forward),
+    but their *sends* are concurrent exactly when the scheduler was free
+    to deliver them in either order.
+    """
+
+    index: int
+    #: send | deliver | demand | checkpoint | crash | restart
+    kind: str
+    #: the peer at which the event happened (recipient for deliveries)
+    peer: str
+    clock: VectorClock
+    message_kind: str | None = None
+    sender: str | None = None
+    #: globally unique Message.seq tying a delivery to its send event
+    seq: int | None = None
+    send_clock: VectorClock | None = None
+    #: relation keys that gained facts while this event's handler ran
+    writes: tuple[RelationKey, ...] = ()
+    #: recovery re-delivery of an already-consumed message
+    replay: bool = False
+    #: scheduler pick number that caused this delivery (see race.py)
+    pick_index: int | None = None
+
+    def describe(self) -> str:
+        origin = f" {self.sender}->{self.peer}" if self.sender else f" @{self.peer}"
+        kind = f" [{self.message_kind}]" if self.message_kind else ""
+        extra = " (replay)" if self.replay else ""
+        return f"#{self.index} {self.kind}{origin}{kind}{extra}"
+
+
+@dataclass
+class TraceRecorder:
+    """Collects :class:`TraceEvent` records with per-peer vector clocks."""
+
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self._clocks: dict[str, VectorClock] = {}
+        #: Message.seq -> the sender's clock at send time
+        self._send_clocks: dict[int, VectorClock] = {}
+        self._open_delivery: TraceEvent | None = None
+
+    # -- clock bookkeeping -------------------------------------------------
+
+    def _clock(self, peer: str) -> VectorClock:
+        clock = self._clocks.get(peer)
+        if clock is None:
+            clock = {}
+            self._clocks[peer] = clock
+        return clock
+
+    def _tick(self, peer: str) -> VectorClock:
+        clock = self._clock(peer)
+        clock[peer] = clock.get(peer, 0) + 1
+        return dict(clock)
+
+    def _append(self, event: TraceEvent) -> TraceEvent:
+        self.events.append(event)
+        return event
+
+    # -- hooks driven by the network ---------------------------------------
+
+    def on_send(self, message: Message) -> None:
+        clock = self._tick(message.sender)
+        self._send_clocks[message.seq] = clock
+        self._append(TraceEvent(
+            index=len(self.events), kind="send", peer=message.sender,
+            clock=clock, message_kind=message.kind,
+            sender=message.sender, seq=message.seq))
+
+    def on_deliver_begin(self, message: Message, replay: bool,
+                         pick_index: int | None) -> None:
+        recipient = message.recipient
+        clock = self._clock(recipient)
+        send_clock = self._send_clocks.get(message.seq, {})
+        for peer, value in send_clock.items():
+            if value > clock.get(peer, 0):
+                clock[peer] = value
+        clock[recipient] = clock.get(recipient, 0) + 1
+        self._open_delivery = self._append(TraceEvent(
+            index=len(self.events), kind="deliver", peer=recipient,
+            clock=dict(clock), message_kind=message.kind,
+            sender=message.sender, seq=message.seq,
+            send_clock=dict(send_clock), replay=replay,
+            pick_index=pick_index))
+
+    def on_deliver_end(self, writes: tuple[RelationKey, ...]) -> None:
+        if self._open_delivery is not None:
+            self._open_delivery.writes = writes
+            self._open_delivery = None
+
+    def on_marker(self, kind: str, peer: str,
+                  writes: tuple[RelationKey, ...] = ()) -> None:
+        self._append(TraceEvent(
+            index=len(self.events), kind=kind, peer=peer,
+            clock=self._tick(peer), writes=writes))
+
+    def on_lifecycle(self, kind: str, peer: str) -> None:
+        self._append(TraceEvent(
+            index=len(self.events), kind=kind, peer=peer,
+            clock=self._tick(peer)))
+
+    # -- views --------------------------------------------------------------
+
+    def deliveries(self) -> list[TraceEvent]:
+        """Handler deliveries only (the sanitizer's unit of reordering)."""
+        return [e for e in self.events if e.kind == "deliver"]

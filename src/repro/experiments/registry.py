@@ -549,8 +549,8 @@ def e9_crash_recovery() -> ExperimentResult:
                             use_termination_detector=True).query(query)
         rows.append([f"crash {victim}@2, restart+8",
                      result.answers == oracle,
-                     result.counters["recovery.checkpoints_restored"],
-                     result.counters["recovery.deliveries_replayed"],
+                     result.counters["net.recovery.checkpoints_restored"],
+                     result.counters["net.recovery.deliveries_replayed"],
                      bool(result.terminated_by_detector)])
 
     report = run_chaos(ChaosConfig(schedules=12, seed=9))

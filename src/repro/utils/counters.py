@@ -11,6 +11,25 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Iterator
 
+#: Deprecated counter-name prefixes and their canonical replacements.
+#: PR 4 introduced run-level recovery counters as ``recovery.*`` while
+#: every other network-run counter lives under ``net.*`` (``net.seed``,
+#: ``net.dropped``, ...).  The canonical names are now ``net.recovery.*``;
+#: this table is the deprecation shim -- reads and writes using the old
+#: prefix are transparently redirected, so external callers keep working
+#: while :meth:`Counters.as_dict` reports canonical names only.
+DEPRECATED_PREFIXES: dict[str, str] = {
+    "recovery.": "net.recovery.",
+}
+
+
+def canonical_name(name: str) -> str:
+    """Map a (possibly deprecated) counter name to its canonical form."""
+    for old, new in DEPRECATED_PREFIXES.items():
+        if name.startswith(old):
+            return new + name[len(old):]
+    return name
+
 
 class Counters:
     """A named bag of monotone integer counters.
@@ -22,6 +41,13 @@ class Counters:
     4
     >>> c["missing"]
     0
+
+    Deprecated names (see :data:`DEPRECATED_PREFIXES`) are redirected to
+    their canonical replacements on both reads and writes:
+
+    >>> c.add("recovery.crashes")
+    >>> c["net.recovery.crashes"], c["recovery.crashes"]
+    (1, 1)
     """
 
     def __init__(self) -> None:
@@ -31,18 +57,19 @@ class Counters:
         """Increment counter ``name`` by ``amount`` (default 1)."""
         if amount < 0:
             raise ValueError(f"counters are monotone; cannot add {amount}")
-        self._values[name] += amount
+        self._values[canonical_name(name)] += amount
 
     def set_max(self, name: str, value: int) -> None:
         """Record the maximum of the current value and ``value``."""
+        name = canonical_name(name)
         if value > self._values[name]:
             self._values[name] = value
 
     def __getitem__(self, name: str) -> int:
-        return self._values.get(name, 0)
+        return self._values.get(canonical_name(name), 0)
 
     def __contains__(self, name: str) -> bool:
-        return name in self._values
+        return canonical_name(name) in self._values
 
     def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._values))

@@ -1,0 +1,91 @@
+"""Property: deliveries the commutation oracle approves really commute.
+
+The sanitizer prunes a concurrent delivery pair when
+:func:`repro.datalog.analysis.non_commuting_pairs` says their written
+relations commute.  That promise is checkable directly: apply two fact
+batches to the same program in both orders -- each batch followed by an
+incremental fixpoint, exactly the way a peer processes a delivery --
+and the final databases must be equal whenever no cross pair of batch
+relations is in the oracle.
+
+The converse direction is witnessed too (as a deterministic case, since
+non-commutation is existential, not universal): the racy program's
+``alarm``/``suspect`` batches produce different databases in the two
+orders, so an oracle that wrongly approved them would be caught.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.datalog.analysis import non_commuting_pairs
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program
+from repro.datalog.seminaive import IncrementalEvaluator
+from repro.datalog.term import Const
+
+#: a small program mixing a monotone fragment with one fire-time
+#: negation; the oracle flags exactly {alarm, suspect}
+PROGRAM_TEXT = """
+good(X) :- alarm(X), not suspect(X).
+tally(X) :- alarm(X).
+link(X, Y) :- alarm(X), alarm(Y).
+noted(X) :- hint(X).
+"""
+
+RELATIONS = ("alarm", "suspect", "hint")
+VALUES = ("a", "b", "c")
+
+facts = st.tuples(st.sampled_from(RELATIONS), st.sampled_from(VALUES))
+batches = st.lists(facts, max_size=4)
+
+
+def _snapshot(db: Database) -> dict:
+    return {key: set(db.facts(key)) for key in db.relations()
+            if db.facts(key)}
+
+
+def _run_orders(batch_a, batch_b):
+    """Final databases of (A then B) and (B then A), with fixpoints between."""
+    out = []
+    for first, second in ((batch_a, batch_b), (batch_b, batch_a)):
+        program = parse_program(PROGRAM_TEXT, check=False)
+        db = Database()
+        evaluator = IncrementalEvaluator(db)
+        for rule in program.proper_rules():
+            evaluator.add_rule(rule)
+        evaluator.run()
+        for batch in (first, second):
+            for relation, value in batch:
+                db.add((relation, None), (Const(value),))
+            evaluator.run()
+        out.append(_snapshot(db))
+    return out
+
+
+class TestOracleApprovedBatchesCommute:
+    @settings(max_examples=60, deadline=None)
+    @given(batches, batches)
+    def test_commuting_batches_yield_equal_databases(self, batch_a, batch_b):
+        oracle = non_commuting_pairs(parse_program(PROGRAM_TEXT, check=False))
+        keys_a = {(relation, None) for relation, _ in batch_a}
+        keys_b = {(relation, None) for relation, _ in batch_b}
+        approved = all(frozenset((a, b)) not in oracle
+                       for a in keys_a for b in keys_b)
+        forward, backward = _run_orders(batch_a, batch_b)
+        if approved:
+            assert forward == backward, (batch_a, batch_b)
+        # unapproved pairs MAY diverge; no assertion either way
+
+    def test_flagged_pair_can_diverge(self):
+        # the existential witness: alarm-then-suspect derives good("a"),
+        # suspect-then-alarm suppresses it
+        oracle = non_commuting_pairs(parse_program(PROGRAM_TEXT, check=False))
+        assert frozenset(
+            {("alarm", None), ("suspect", None)}) in oracle
+        forward, backward = _run_orders([("alarm", "a")], [("suspect", "a")])
+        assert forward != backward
+
+    def test_oracle_is_tight_for_positive_fragment(self):
+        # hint only feeds the positive fragment: it pairs with nothing
+        oracle = non_commuting_pairs(parse_program(PROGRAM_TEXT, check=False))
+        for pair in oracle:
+            assert ("hint", None) not in pair

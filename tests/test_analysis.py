@@ -460,3 +460,15 @@ class TestRegisteredPrograms:
     def test_lint_registered_passes(self):
         from repro.experiments.registry import lint_registered
         lint_registered()
+
+
+class TestIndexSpans:
+    def test_spans_number_rules_in_program_order(self):
+        from repro.datalog.analysis import index_spans
+        program = parse_program("""
+            p(X) :- q(X).
+            q("a").
+            r(X) :- p(X).
+        """, check=False)
+        spans = index_spans(program)
+        assert sorted(spans.values()) == [(1, 1), (2, 1), (3, 1)]

@@ -110,3 +110,29 @@ class TestLintCommand:
     def test_example_files_lint_clean(self, capsys):
         assert main(["lint", str(EXAMPLES / "figure3.dl"),
                      str(EXAMPLES / "transitive_closure.dl")]) == 0
+
+
+class TestLintRegisteredSpans:
+    def test_registered_reports_carry_rule_index_spans(self, capsys):
+        # registered programs are built in memory: the analyzer is fed
+        # synthetic rule-index spans so diagnostics still point somewhere
+        main(["lint", "--registered"])
+        out = capsys.readouterr().out
+        # rule-level diagnostics (e.g. DD301) must carry a rule-index
+        # span; only program-level ones (e.g. DD104 arity census, which
+        # has no single offending rule) may stay span-less
+        import re
+        rule_level = [line for line in out.splitlines()
+                      if line.startswith("<registered:") and " DD301 " in line]
+        assert rule_level
+        for line in rule_level:
+            assert re.match(r"^<registered:[\w-]+>:\d+:\d+: DD301", line), line
+        # the span-less fallback ("    rule: ...") is gone for them
+        assert "    rule:" not in out
+
+    def test_racy_example_flags_confluence_codes(self, capsys):
+        assert main(["lint", str(EXAMPLES / "racy.dl"),
+                     "--query", "verdict@s(X)"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DD701", "DD702", "DD703"):
+            assert code in out

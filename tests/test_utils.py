@@ -111,3 +111,35 @@ class TestOrders:
     def test_scc_ignores_unknown_successors(self):
         components = strongly_connected_components(["a"], {"a": ["zz"]})
         assert [set(c) for c in components] == [{"a"}]
+
+
+class TestCounterDeprecationShim:
+    def test_canonical_name_rewrites_prefix(self):
+        from repro.utils.counters import canonical_name
+        assert canonical_name("recovery.crashes") == "net.recovery.crashes"
+        assert canonical_name("net.recovery.crashes") == "net.recovery.crashes"
+        assert canonical_name("sanitizer.events") == "sanitizer.events"
+
+    def test_legacy_writes_land_on_canonical_key(self):
+        counters = Counters()
+        counters.add("recovery.restores", 2)
+        counters.add("net.recovery.restores", 1)
+        assert counters["net.recovery.restores"] == 3
+        assert "recovery.restores" not in counters.as_dict()
+
+    def test_legacy_reads_see_canonical_value(self):
+        counters = Counters()
+        counters.add("net.recovery.crashes", 4)
+        assert counters["recovery.crashes"] == 4
+        assert "recovery.crashes" in counters
+
+    def test_set_max_goes_through_shim(self):
+        counters = Counters()
+        counters.set_max("recovery.depth", 3)
+        counters.set_max("net.recovery.depth", 2)
+        assert counters["net.recovery.depth"] == 3
+
+    def test_iteration_exposes_only_canonical_names(self):
+        counters = Counters()
+        counters.add("recovery.restores")
+        assert list(counters) == ["net.recovery.restores"]
