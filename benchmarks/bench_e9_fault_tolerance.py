@@ -10,7 +10,7 @@ breaks (drop=1.0 degrades to a partial result, never a crash).
 
 import pytest
 
-from repro.api import diagnose
+from repro.api import RunConfig, diagnose
 from repro.distributed.network import FaultPlan, NetworkOptions
 from repro.workloads.scenarios import SCENARIOS
 
@@ -32,7 +32,8 @@ def test_diagnosis_invariant_at_twenty_percent_loss(benchmark, name):
     options = _lossy_options(0.2)
 
     result = benchmark.pedantic(
-        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        lambda: diagnose(petri, alarms, method="dqsq",
+                         config=RunConfig(options=options)),
         rounds=2, iterations=1)
 
     assert not result.partial
@@ -54,7 +55,8 @@ def test_retry_cost_scales_with_drop_rate(benchmark, drop):
     options = _lossy_options(drop, seed=1)
 
     result = benchmark.pedantic(
-        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        lambda: diagnose(petri, alarms, method="dqsq",
+                         config=RunConfig(options=options)),
         rounds=2, iterations=1)
 
     assert result.diagnoses == baseline.diagnoses
@@ -77,7 +79,8 @@ def test_retry_budget_sweep(benchmark, max_retries):
     options = _lossy_options(0.2, seed=2, max_retries=max_retries)
 
     result = benchmark.pedantic(
-        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        lambda: diagnose(petri, alarms, method="dqsq",
+                         config=RunConfig(options=options)),
         rounds=2, iterations=1)
 
     assert not result.partial
@@ -91,7 +94,8 @@ def test_exhausted_budget_degrades_to_partial_result(benchmark):
         seed=0, fault=FaultPlan(drop_probability=1.0, max_retries=3))
 
     result = benchmark.pedantic(
-        lambda: diagnose(petri, alarms, method="dqsq", options=options),
+        lambda: diagnose(petri, alarms, method="dqsq",
+                         config=RunConfig(options=options)),
         rounds=1, iterations=1)
 
     assert result.partial

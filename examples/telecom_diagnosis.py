@@ -48,10 +48,10 @@ def main() -> None:
     # The same diagnosis over a lossy network: the reliability layer
     # retransmits until every message is delivered exactly once, so the
     # diagnosis set is unchanged.
-    lossy = repro.NetworkOptions(
+    lossy = repro.RunConfig(options=repro.NetworkOptions(
         seed=7, fault=repro.FaultPlan(drop_probability=0.2,
-                                      delay_distribution=(0, 3)))
-    faulty = repro.diagnose(petri, alarms, method="dqsq", options=lossy)
+                                      delay_distribution=(0, 3))))
+    faulty = repro.diagnose(petri, alarms, method="dqsq", config=lossy)
     assert faulty.diagnoses == result.diagnoses
     print("With 20% frame loss and random delays (reliability layer on):")
     for name in ("net.dropped", "net.retransmits", "net.acks",

@@ -13,25 +13,29 @@ see the subpackages for the full surface:
 * :mod:`repro.experiments` -- the EXPERIMENTS.md harness.
 """
 
-from repro.api import DiagnosisMethod, DiagnosisOutcome, diagnose
+from repro.api import DiagnosisMethod, DiagnosisOutcome, RunConfig, diagnose
 from repro.datalog import (Program, Query, parse_atom, parse_program,
                            qsq_evaluate, qsq_rewrite)
 from repro.diagnosis import (Alarm, AlarmSequence, DatalogDiagnosisEngine,
                              DedicatedDiagnoser, EvaluationMode,
                              bruteforce_diagnosis)
 from repro.distributed import (DDatalogProgram, DqsqEngine, FaultPlan,
-                               NetworkOptions)
+                               NetworkOptions, Transport, TransportJob,
+                               TransportOutcome, TransportRuntime,
+                               resolve_transport)
 from repro.petri import PetriNet, unfold
 
 __version__ = "1.1.0"
 
 __all__ = [
-    "diagnose", "DiagnosisMethod", "DiagnosisOutcome",
+    "diagnose", "DiagnosisMethod", "DiagnosisOutcome", "RunConfig",
     "Program", "Query", "parse_atom", "parse_program",
     "qsq_evaluate", "qsq_rewrite",
     "Alarm", "AlarmSequence", "DatalogDiagnosisEngine", "EvaluationMode",
     "DedicatedDiagnoser", "bruteforce_diagnosis",
     "DDatalogProgram", "DqsqEngine", "FaultPlan", "NetworkOptions",
+    "Transport", "TransportJob", "TransportOutcome", "TransportRuntime",
+    "resolve_transport",
     "PetriNet", "unfold",
     "__version__",
 ]

@@ -10,6 +10,20 @@ brute-force ground truth -- is reachable through a single front door::
     result.counters                 # instrumentation
     result.materialized_events      # unfolding events built on the way
 
+Run configuration is consolidated in :class:`RunConfig`::
+
+    config = repro.RunConfig(options=NetworkOptions(seed=7),
+                             transport="mp",
+                             use_termination_detector=True)
+    result = repro.diagnose(petri, alarms, method="dqsq", config=config)
+
+``transport="sim"`` (default) evaluates on the deterministic simulator;
+``transport="mp"`` runs each peer in its own OS process (see
+:mod:`repro.distributed.mp`).  The pre-PR-6 scattered keyword arguments
+(``options=``, ``budget=``, ``use_termination_detector=``, ...) still
+work for one release behind :class:`repro.errors.ReproDeprecationWarning`
+shims that fold them into a ``RunConfig``.
+
 The concrete result types differ per solver (they carry solver-specific
 extras such as the product branching process or per-peer databases),
 but all satisfy the :class:`DiagnosisOutcome` protocol, so callers that
@@ -19,7 +33,9 @@ only need diagnoses and instrumentation can treat them uniformly.
 from __future__ import annotations
 
 import enum
-from typing import Protocol, runtime_checkable
+import warnings
+from dataclasses import dataclass, replace
+from typing import Any, Protocol, runtime_checkable
 
 from repro.datalog.seminaive import EvaluationBudget
 from repro.diagnosis.alarms import AlarmSequence
@@ -29,7 +45,8 @@ from repro.diagnosis.engine import DatalogDiagnosisEngine, EvaluationMode
 from repro.diagnosis.problem import DiagnosisSet
 from repro.diagnosis.supervisor import SUPERVISOR
 from repro.distributed.network import NetworkOptions
-from repro.errors import DiagnosisError
+from repro.distributed.transport import TransportRuntime
+from repro.errors import DiagnosisError, ReproDeprecationWarning
 from repro.petri.net import PetriNet
 from repro.utils.counters import Counters
 
@@ -51,6 +68,38 @@ class DiagnosisMethod(str, enum.Enum):
             known = ", ".join(m.value for m in cls)
             raise DiagnosisError(
                 f"unknown diagnosis method {value!r}; known: {known}") from None
+
+
+@dataclass(frozen=True)
+class RunConfig:
+    """Everything configurable about one :func:`diagnose` run.
+
+    One object composes the previously scattered knobs: evaluation
+    budget, simulated-network options, the transport selection, and the
+    unfolding-path limits.  Knobs a solver does not consume are ignored
+    by it, so one config can drive several methods.
+    """
+
+    #: evaluation budget of the Datalog paths (``None`` = engine default)
+    budget: EvaluationBudget | None = None
+    #: simulated-network options (seed, faults, tracer, chooser);
+    #: simulator-only -- combining fault plans with ``transport="mp"``
+    #: raises at run time rather than silently downgrading
+    options: NetworkOptions | None = None
+    #: ``"sim"`` (deterministic simulator, default), ``"mp"`` (one OS
+    #: process per peer), or a ready
+    #: :class:`~repro.distributed.transport.TransportRuntime`
+    transport: str | TransportRuntime = "sim"
+    #: optional :class:`repro.distributed.mp.MpConfig` for ``"mp"``
+    mp: Any = None
+    #: the supervisor peer that poses the diagnosis query
+    supervisor: str = SUPERVISOR
+    #: run the Dijkstra-Scholten detector alongside the evaluation
+    use_termination_detector: bool = False
+    #: Section-4.4 hidden-transition knobs (dedicated / bruteforce paths)
+    hidden: frozenset[str] = frozenset()
+    hidden_budget: int = 0
+    max_events: int = 50_000
 
 
 @runtime_checkable
@@ -81,37 +130,56 @@ class DiagnosisOutcome(Protocol):
     def peer_report(self) -> dict[str, dict[str, int | bool]] | None: ...
 
 
+_MISSING = object()
+
+
 def diagnose(petri: PetriNet, alarms: AlarmSequence,
              method: DiagnosisMethod | str = DiagnosisMethod.DQSQ, *,
-             budget: EvaluationBudget | None = None,
-             options: NetworkOptions | None = None,
-             supervisor: str = SUPERVISOR,
-             use_termination_detector: bool = False,
-             hidden: frozenset[str] = frozenset(),
-             hidden_budget: int = 0,
-             max_events: int = 50_000) -> DiagnosisOutcome:
+             config: RunConfig | None = None,
+             budget: Any = _MISSING,
+             options: Any = _MISSING,
+             supervisor: Any = _MISSING,
+             use_termination_detector: Any = _MISSING,
+             hidden: Any = _MISSING,
+             hidden_budget: Any = _MISSING,
+             max_events: Any = _MISSING) -> DiagnosisOutcome:
     """Diagnose ``alarms`` against ``petri`` with the chosen solver.
 
-    ``budget``, ``options``, ``supervisor`` and
-    ``use_termination_detector`` configure the Datalog paths (``dqsq``,
-    ``qsq``, ``bottomup``); ``options`` carries the network fault plan
-    for ``dqsq``.  ``hidden``, ``hidden_budget`` and ``max_events``
-    configure the unfolding-based paths (``dedicated``, ``bruteforce``).
-    Passing a knob the chosen solver does not consume is harmless.
+    Configuration lives in ``config`` (a :class:`RunConfig`); the
+    individual keyword arguments are the pre-PR-6 surface, kept working
+    for one release behind :class:`~repro.errors.ReproDeprecationWarning`
+    shims that fold them into an equivalent ``RunConfig``.  Passing a
+    knob the chosen solver does not consume is harmless.
     """
     method = DiagnosisMethod.coerce(method)
+    legacy = {name: value for name, value in [
+        ("budget", budget), ("options", options), ("supervisor", supervisor),
+        ("use_termination_detector", use_termination_detector),
+        ("hidden", hidden), ("hidden_budget", hidden_budget),
+        ("max_events", max_events)] if value is not _MISSING}
+    if legacy:
+        warnings.warn(
+            f"diagnose(..., {', '.join(sorted(legacy))}=...) is deprecated; "
+            f"pass repro.RunConfig({', '.join(sorted(legacy))}=...) as "
+            f"config= instead", ReproDeprecationWarning, stacklevel=2)
+        config = replace(config or RunConfig(), **legacy)
+    config = config or RunConfig()
+
     if method in (DiagnosisMethod.DQSQ, DiagnosisMethod.QSQ,
                   DiagnosisMethod.BOTTOMUP):
         engine = DatalogDiagnosisEngine(
-            petri, mode=EvaluationMode(method.value), supervisor=supervisor,
-            budget=budget, options=options,
-            use_termination_detector=use_termination_detector)
+            petri, mode=EvaluationMode(method.value),
+            supervisor=config.supervisor, budget=config.budget,
+            options=config.options,
+            use_termination_detector=config.use_termination_detector,
+            transport=config.transport, mp_config=config.mp)
         return engine.diagnose(alarms)
     if method is DiagnosisMethod.DEDICATED:
-        hidden_depth = (len(alarms) + hidden_budget) if hidden else None
-        return DedicatedDiagnoser(petri, max_events=max_events,
-                                  hidden=hidden,
+        hidden_depth = ((len(alarms) + config.hidden_budget)
+                        if config.hidden else None)
+        return DedicatedDiagnoser(petri, max_events=config.max_events,
+                                  hidden=config.hidden,
                                   hidden_depth=hidden_depth).diagnose(alarms)
-    return bruteforce_diagnosis(petri, alarms, hidden=hidden,
-                                hidden_budget=hidden_budget,
-                                max_events=max_events)
+    return bruteforce_diagnosis(petri, alarms, hidden=config.hidden,
+                                hidden_budget=config.hidden_budget,
+                                max_events=config.max_events)

@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.api import DiagnosisMethod, diagnose
+from repro.api import DiagnosisMethod, RunConfig, diagnose
 from repro.diagnosis import AlarmSequence
 from repro.distributed.network import FaultPlan, NetworkOptions, PeerFaultPlan
 from repro.errors import ReproError
@@ -89,8 +89,9 @@ def cmd_diagnose(args) -> int:
     print(f"alarm sequence: {' '.join(str(a) for a in alarms)}")
     if args.hidden:
         return _diagnose_with_hidden(args, petri, alarms)
-    result = diagnose(petri, alarms, method=args.mode,
-                      options=_network_options(args))
+    config = RunConfig(options=_network_options(args),
+                       transport=getattr(args, "transport", "sim"))
+    result = diagnose(petri, alarms, method=args.mode, config=config)
     diagnoses = result.diagnoses
     print(f"materialized unfolding events: {len(result.materialized_events)}")
     if args.drop > 0 and args.mode == "dqsq":
@@ -310,6 +311,13 @@ def build_parser() -> argparse.ArgumentParser:
                                "retransmits until delivery or retry exhaustion")
     diagnose.add_argument("--seed", type=int, default=0,
                           help="scheduler / fault-injection seed")
+    diagnose.add_argument("--transport", default="sim",
+                          choices=["sim", "mp"],
+                          help="substrate for dqsq mode: 'sim' is the "
+                               "deterministic in-process simulator, 'mp' "
+                               "runs each peer in its own OS process "
+                               "(parallel; incompatible with --drop/--crash, "
+                               "which are simulator-only)")
     diagnose.add_argument("--report", action="store_true",
                           help="render a human-readable report (Section 2's "
                                "'explained to a human supervisor')")

@@ -35,6 +35,7 @@ from repro.diagnosis.problem import DiagnosisSet, diagnosis_set
 from repro.diagnosis.supervisor import SUPERVISOR, SupervisorEncoder
 from repro.distributed.dqsq import DqsqEngine
 from repro.distributed.network import NetworkOptions
+from repro.distributed.transport import TransportRuntime
 from repro.errors import DiagnosisError
 from repro.petri.net import PetriNet
 from repro.petri.occurrence import VIRTUAL_ROOT
@@ -96,7 +97,9 @@ class DatalogDiagnosisEngine:
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
                  use_termination_detector: bool = False,
-                 compiled: bool = True) -> None:
+                 compiled: bool = True,
+                 transport: "str | TransportRuntime" = "sim",
+                 mp_config: object = None) -> None:
         self.petri = petri
         self.mode = EvaluationMode.coerce(mode)
         self.supervisor = supervisor
@@ -106,6 +109,11 @@ class DatalogDiagnosisEngine:
         #: False selects the reference interpreter (`iter_rule_bindings`)
         #: instead of compiled join plans -- the old-vs-new benchmark knob
         self.compiled = compiled
+        #: transport substrate for the dqsq path ("sim", "mp", or a
+        #: ready TransportRuntime); centralized modes evaluate locally
+        #: and ignore it
+        self.transport = transport
+        self.mp_config = mp_config
 
     def diagnose(self, alarms: AlarmSequence) -> DatalogDiagnosisResult:
         encoder = SupervisorEncoder(self.petri, alarms, self.supervisor)
@@ -128,7 +136,9 @@ class DatalogDiagnosisEngine:
         if self.mode is EvaluationMode.DQSQ:
             engine = DqsqEngine(program, budget=self.budget, options=self.options,
                                 use_termination_detector=self.use_termination_detector,
-                                compiled=self.compiled, check=False)
+                                compiled=self.compiled, check=False,
+                                transport=self.transport,
+                                mp_config=self.mp_config)
             result = engine.query(Query(query_atom))
             counters.merge(result.counters)
             answers = result.answers

@@ -8,6 +8,13 @@ head is located at it, and queries are evaluated either by distributed
 naive evaluation or by dQSQ -- the distributed Query-Sub-Query rewriting
 in which every peer rewrites only its own rules and delegates rule
 remainders to the peers that own the next body atom (Figure 5).
+
+Since PR 6 the substrate is pluggable (:mod:`repro.distributed.transport`):
+the simulator is the ``"sim"`` transport, and :mod:`repro.distributed.mp`
+adds an ``"mp"`` transport running each peer in its own OS process for
+genuinely parallel evaluation.  The ``MpConfig`` / ``MpTransportRuntime``
+pair is imported from :mod:`repro.distributed.mp` directly (lazily, so
+importing this package never touches ``multiprocessing``).
 """
 
 from repro.distributed.network import (CheckpointablePeer, FaultPlan,
@@ -17,6 +24,10 @@ from repro.distributed.ddatalog import DDatalogProgram, global_translation
 from repro.distributed.naive_dist import DistributedNaiveEngine
 from repro.distributed.dqsq import DqsqEngine, DqsqResult
 from repro.distributed.termination import DijkstraScholten
+from repro.distributed.transport import (PeerSpec, SimTransportRuntime,
+                                         Transport, TransportJob,
+                                         TransportOutcome, TransportRuntime,
+                                         resolve_transport)
 from repro.distributed.analysis import check_locality
 from repro.distributed.chaos import (ChaosConfig, ChaosReport, make_schedule,
                                      run_chaos)
@@ -33,6 +44,8 @@ __all__ = [
     "DistributedNaiveEngine",
     "DqsqEngine", "DqsqResult",
     "DijkstraScholten",
+    "Transport", "TransportJob", "TransportOutcome", "TransportRuntime",
+    "PeerSpec", "SimTransportRuntime", "resolve_transport",
     "check_locality",
     "ChaosConfig", "ChaosReport", "make_schedule", "run_chaos",
     "TraceEvent", "TraceRecorder",

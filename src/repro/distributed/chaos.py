@@ -240,9 +240,10 @@ class _DiagnosisProblem:
 
     def run(self, options: NetworkOptions | None) -> _RunResult:
         import repro
+        config = repro.RunConfig(options=options or NetworkOptions(),
+                                 use_termination_detector=True)
         result = repro.diagnose(self._petri, self._alarms, method="dqsq",
-                                options=options or NetworkOptions(),
-                                use_termination_detector=True)
+                                config=config)
         attributed = (result.peer_report is not None
                       or result.transport_stats is not None)
         return (frozenset(result.diagnoses), result.partial,

@@ -27,6 +27,7 @@ traffic is (a) delegation requests and (b) streamed tuples of demand
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
@@ -38,8 +39,10 @@ from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget, IncrementalEvaluator
 from repro.datalog.term import Var, variables_of
 from repro.distributed.ddatalog import DDatalogProgram
-from repro.distributed.network import Message, Network, NetworkOptions
+from repro.distributed.network import Message, NetworkOptions
 from repro.distributed.termination import ACK_KIND, DijkstraScholten
+from repro.distributed.transport import (PeerSpec, Transport, TransportJob,
+                                         TransportRuntime, resolve_transport)
 from repro.errors import DistributedError, PeerUnavailable, TransportExhausted
 from repro.utils.counters import Counters
 
@@ -176,15 +179,15 @@ class _DqsqPeer:
 
     # -- message handling --------------------------------------------------------
 
-    def on_message(self, message: Message, network: Network) -> None:
+    def on_message(self, message: Message, transport: Transport) -> None:
         # Replayed deliveries re-run the payload processing (idempotent:
         # fact stores, rule installation and reader registration all
         # deduplicate) but must not re-run the termination protocol --
         # the pre-crash incarnation already counted them.
-        replayed = network.delivering_replayed
+        replayed = transport.delivering_replayed
         if message.kind == ACK_KIND:
             if self.detector is not None and not replayed:
-                self.detector.on_ack(message, network)
+                self.detector.on_ack(message, transport)
             return
         if self.detector is not None and not replayed:
             self.detector.on_basic_receive(message)
@@ -200,38 +203,38 @@ class _DqsqPeer:
                 # back to their home: advance the dispatch watermark.
                 self._dispatched[key] = len(self.db.facts(key))
         elif message.kind == KIND_DELEGATE:
-            self._install_delegation(message.payload, network)
+            self._install_delegation(message.payload, transport)
         elif message.kind == KIND_QUERY:
-            self.pose_demand(payload=message.payload, network=network)
+            self.pose_demand(payload=message.payload, transport=transport)
         else:
             raise DistributedError(f"unexpected message kind {message.kind}")
-        self.work(network)
+        self.work(transport)
         if self.detector is not None:
-            self.detector.peer_passive(self.name, network)
+            self.detector.peer_passive(self.name, transport)
 
-    def pose_demand(self, payload: dict, network: Network) -> None:
+    def pose_demand(self, payload: dict, transport: Transport) -> None:
         """Handle a query seed: register the asker and record the demand."""
         relation = payload["relation"]
         adornment = Adornment(payload["adornment"])
         reply_to = payload["reply_to"]
         answer_key = (adorned_name(relation, adornment), self.name)
-        self._register_reader(answer_key, reply_to, network)
+        self._register_reader(answer_key, reply_to, transport)
         in_key = (input_name(relation, adornment), self.name)
         if self.db.add(in_key, tuple(payload["bound"])):
-            network.trace_marker("demand", self.name, (in_key,))
+            transport.trace_marker("demand", self.name, (in_key,))
 
     # -- demand-driven local rewriting ----------------------------------------------
 
-    def work(self, network: Network) -> None:
+    def work(self, transport: Transport) -> None:
         """Run local fixpoints, trigger rewritings, dispatch new facts."""
         while True:
             self.evaluator.run()
-            progressed = self._dispatch(network)
-            progressed |= self._process_new_demands(network)
+            progressed = self._dispatch(transport)
+            progressed |= self._process_new_demands(transport)
             if not progressed:
                 return
 
-    def _process_new_demands(self, network: Network) -> bool:
+    def _process_new_demands(self, transport: Transport) -> bool:
         """Rewrite local relations for which fresh demands arrived."""
         progressed = False
         log = self.db.change_log()
@@ -256,13 +259,13 @@ class _DqsqPeer:
                 self.processed.add((base, adornment.pattern))
                 continue
             self.processed.add((base, adornment.pattern))
-            network.trace_marker("demand", self.name, (key,))
-            self._rewrite_relation(base, adornment, network)
+            transport.trace_marker("demand", self.name, (key,))
+            self._rewrite_relation(base, adornment, transport)
             progressed = True
         return progressed
 
     def _rewrite_relation(self, relation: str, adornment: Adornment,
-                          network: Network) -> None:
+                          transport: Transport) -> None:
         """The local QSQ rewriting of this peer's rules for a demand."""
         self.counters.add("rewritings")
         in_atom_name = input_name(relation, adornment)
@@ -291,20 +294,20 @@ class _DqsqPeer:
             pending = tuple(c for c in rule.inequalities if c not in ground_ineqs)
             head_atom = Atom(ans_name, head_args, self.name)
             self._continue_segment(uid, 1, head_atom, rule.body, pending,
-                                   sup0, self.name, sup_args, network)
+                                   sup0, self.name, sup_args, transport)
 
-    def _install_delegation(self, delegation: _Delegation, network: Network) -> None:
+    def _install_delegation(self, delegation: _Delegation, transport: Transport) -> None:
         self.counters.add("delegations_received")
         self._continue_segment(delegation.uid, delegation.position,
                                delegation.head, delegation.atoms,
                                delegation.inequalities, delegation.sup_name,
-                               delegation.sup_home, delegation.sup_args, network)
+                               delegation.sup_home, delegation.sup_args, transport)
 
     def _continue_segment(self, uid: str, position: int, head: Atom,
                           atoms: tuple[Atom, ...],
                           inequalities: tuple[Inequality, ...],
                           sup_name: str, sup_home: str, sup_args: tuple[Var, ...],
-                          network: Network) -> None:
+                          transport: Transport) -> None:
         """Process body atoms left to right while they are local; delegate
         the remainder at the first remote atom."""
         order = _delegation_order(sup_args, atoms)
@@ -320,9 +323,9 @@ class _DqsqPeer:
                     sup_args=tuple(current.args),  # type: ignore[arg-type]
                 )
                 self._register_reader((current.relation, current.peer or self.name),
-                                      atom.peer or "", network)
+                                      atom.peer or "", transport)
                 self.counters.add("delegations_sent")
-                self._send(network, atom.peer or "", KIND_DELEGATE, remainder)
+                self._send(transport, atom.peer or "", KIND_DELEGATE, remainder)
                 return
             body_adornment = Adornment.from_atom(atom, available)
             if self._is_local_idb(atom.relation):
@@ -358,16 +361,16 @@ class _DqsqPeer:
     # -- fact dispatch ---------------------------------------------------------------
 
     def _register_reader(self, key: RelationKey, reader: str,
-                         network: Network) -> None:
+                         transport: Transport) -> None:
         readers = self.readers.setdefault(key, set())
         if reader in readers or reader == self.name:
             return
         readers.add(reader)
         current = list(self.db.facts(key))
         if current:
-            self._send_facts(network, reader, key, current)
+            self._send_facts(transport, reader, key, current)
 
-    def _dispatch(self, network: Network) -> bool:
+    def _dispatch(self, transport: Transport) -> bool:
         """Push new facts to their home peer or to registered readers."""
         progressed = False
         log = self.db.change_log()
@@ -385,23 +388,23 @@ class _DqsqPeer:
             self._dispatched[key] = len(facts)
             progressed = True
             if home is not None and home != self.name:
-                self._send_facts(network, home, key, new)
+                self._send_facts(transport, home, key, new)
             else:
                 for reader in self.readers.get(key, ()):
-                    self._send_facts(network, reader, key, new)
+                    self._send_facts(transport, reader, key, new)
         return progressed
 
-    def _send_facts(self, network: Network, recipient: str, key: RelationKey,
+    def _send_facts(self, transport: Transport, recipient: str, key: RelationKey,
                     tuples: list[Fact]) -> None:
         self.counters.add("tuples_shipped", len(tuples))
-        self._send(network, recipient, KIND_FACTS,
+        self._send(transport, recipient, KIND_FACTS,
                    {"relation": key[0], "home": key[1], "tuples": tuples})
 
-    def _send(self, network: Network, recipient: str, kind: str,
+    def _send(self, transport: Transport, recipient: str, kind: str,
               payload: Any) -> None:
         if self.detector is not None:
             self.detector.on_basic_send(self.name)
-        network.send(self.name, recipient, kind, payload)
+        transport.send(self.name, recipient, kind, payload)
 
 
 def _occurrence_order(rule: Rule) -> tuple[Var, ...]:
@@ -489,19 +492,58 @@ class DqsqResult:
         return out
 
 
+def _build_dqsq_peer(*, name: str, detector: DijkstraScholten | None,
+                     rules: tuple[Rule, ...], budget: EvaluationBudget,
+                     compiled: bool,
+                     facts: dict[RelationKey, list[Fact]]) -> _DqsqPeer:
+    """Module-level peer factory (picklable, so the multiprocessing
+    transport can build the peer inside its worker process)."""
+    peer = _DqsqPeer(name, rules, budget, detector=detector, compiled=compiled)
+    for key, tuples in facts.items():
+        peer.db.add_all(key, tuples, assume_ground=True)
+    return peer
+
+
+def _start_dqsq(peer: _DqsqPeer, transport: Transport, *, target: str,
+                seed: dict[str, Any]) -> None:
+    """Pose the query at the origin peer, through the transport only."""
+    detector = peer.detector
+    if detector is not None:
+        detector.root_activated()
+    if target == peer.name:
+        peer.pose_demand(seed, transport)
+        peer.work(transport)
+    else:
+        peer._send(transport, target, KIND_QUERY, seed)
+    if detector is not None:
+        detector.peer_passive(peer.name, transport)
+
+
 class DqsqEngine:
-    """Drives a dQSQ evaluation over the simulated network."""
+    """Drives a dQSQ evaluation over a pluggable transport.
+
+    ``transport`` selects the substrate: ``"sim"`` (default) runs on the
+    deterministic in-process simulator configured by ``options``;
+    ``"mp"`` runs each peer in its own OS process (genuinely parallel,
+    no seeded schedule -- see :mod:`repro.distributed.mp`).  A ready
+    :class:`~repro.distributed.transport.TransportRuntime` instance is
+    accepted too.
+    """
 
     def __init__(self, program: DDatalogProgram, edb: Database | None = None,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
                  use_termination_detector: bool = False,
-                 compiled: bool = True, check: bool = True) -> None:
+                 compiled: bool = True, check: bool = True,
+                 transport: str | TransportRuntime = "sim",
+                 mp_config: Any = None) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.options = options or NetworkOptions()
         self.use_termination_detector = use_termination_detector
         self.compiled = compiled
+        self.transport = transport
+        self.mp_config = mp_config
         self._edb = edb or Database()
         if check:
             from repro.datalog.analysis import check_program
@@ -519,26 +561,15 @@ class DqsqEngine:
         if atom.peer is None:
             raise DistributedError("distributed queries must target a located atom")
         origin_name = at_peer or atom.peer
-        network = Network(self.options)
 
         names = set(self.program.peers()) | {atom.peer, origin_name}
-        for key in self._edb.relations():
-            if key[1] is not None:
-                names.add(key[1])
-        detector = DijkstraScholten(origin_name) if self.use_termination_detector else None
-        if detector is not None:
-            network.add_lifecycle_listener(detector)
-        peers: dict[str, _DqsqPeer] = {}
-        for name in sorted(names):
-            peer = _DqsqPeer(name, self.program.rules_at(name), self.budget,
-                             detector=detector, compiled=self.compiled)
-            peers[name] = peer
-            network.register(name, peer)
+        edb_by_peer: dict[str, dict[RelationKey, list[Fact]]] = {}
         for key in self._edb.relations():
             relation, owner = key
             if owner is None:
                 raise DistributedError(f"EDB relation {relation} is not located")
-            peers[owner].db.add_all(key, self._edb.facts(key), assume_ground=True)
+            names.add(owner)
+            edb_by_peer.setdefault(owner, {})[key] = list(self._edb.facts(key))
 
         adornment = Adornment.from_atom(atom)
         seed = {
@@ -547,49 +578,30 @@ class DqsqEngine:
             "bound": adornment.select_bound(atom.args),
             "reply_to": origin_name,
         }
-        origin = peers[origin_name]
-        if detector is not None:
-            detector.root_activated()
-        if atom.peer == origin_name:
-            origin.pose_demand(seed, network)
-            origin.work(network)
-            if detector is not None:
-                detector.peer_passive(origin_name, network)
-        else:
-            origin._send(network, atom.peer, KIND_QUERY, seed)
-            if detector is not None:
-                detector.peer_passive(origin_name, network)
-        transport_error: TransportExhausted | None = None
-        peer_failure: PeerUnavailable | None = None
-        try:
-            network.run_until_quiescent()
-        except TransportExhausted as err:
-            # Graceful degradation: keep every fact derived so far and
-            # report a partial result instead of crashing the evaluation.
-            transport_error = err
-        except PeerUnavailable as err:
-            peer_failure = err
-        else:
-            failed = network.failed_peers()
-            if failed:
-                # Quiescent, but a peer died for good along the way: the
-                # result is still only what the survivors could derive.
-                peer_failure = PeerUnavailable(peers=failed,
-                                               report=network.peer_report())
+        specs = {
+            name: PeerSpec(_build_dqsq_peer, {
+                "rules": tuple(self.program.rules_at(name)),
+                "budget": self.budget,
+                "compiled": self.compiled,
+                "facts": edb_by_peer.get(name, {}),
+            })
+            for name in names}
+        job = TransportJob(
+            peers=specs, origin=origin_name,
+            start=functools.partial(_start_dqsq, target=atom.peer, seed=seed),
+            detector_root=(origin_name if self.use_termination_detector
+                           else None),
+            program=self.program.program)
+        runtime = resolve_transport(self.transport, self.options,
+                                    self.mp_config)
+        outcome = runtime.run(job)
 
         answer_relation = adorned_name(atom.relation, adornment)
-        answers = select(origin.db, Atom(answer_relation, atom.args, atom.peer))
-        counters = Counters()
-        counters.merge(network.counters)
-        per_peer: dict[str, Counters] = {}
-        databases: dict[str, Database] = {}
-        for name, peer in peers.items():
-            peer.counters.merge(peer.evaluator.counters)
-            per_peer[name] = peer.counters
-            databases[name] = peer.db
-            counters.merge(peer.counters)
+        origin_db = outcome.databases.get(origin_name, Database())
+        answers = select(origin_db, Atom(answer_relation, atom.args, atom.peer))
         return DqsqResult(
-            answers=answers, counters=counters, per_peer=per_peer,
-            databases=databases,
-            terminated_by_detector=(detector.terminated if detector else None),
-            transport_error=transport_error, peer_failure=peer_failure)
+            answers=answers, counters=outcome.merged_counters(),
+            per_peer=outcome.per_peer, databases=outcome.databases,
+            terminated_by_detector=outcome.terminated_by_detector,
+            transport_error=outcome.transport_error,
+            peer_failure=outcome.peer_failure)

@@ -15,6 +15,7 @@ travel -- which is exactly the inefficiency dQSQ removes.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -24,7 +25,9 @@ from repro.datalog.naive import select
 from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget, IncrementalEvaluator
 from repro.distributed.ddatalog import DDatalogProgram
-from repro.distributed.network import Message, Network, NetworkOptions
+from repro.distributed.network import Message, NetworkOptions
+from repro.distributed.transport import (PeerSpec, Transport, TransportJob,
+                                         TransportRuntime, resolve_transport)
 from repro.errors import DistributedError, PeerUnavailable, TransportExhausted
 from repro.utils.counters import Counters
 
@@ -99,7 +102,7 @@ class _NaivePeer:
 
     # -- activation -------------------------------------------------------------
 
-    def activate(self, relation: str, network: Network) -> None:
+    def activate(self, relation: str, transport: Transport) -> None:
         """Activate a local relation: activate its rules and their bodies."""
         if relation in self.active:
             return
@@ -115,38 +118,38 @@ class _NaivePeer:
                 atoms = rule.body + rule.negated
             for atom in atoms:
                 if atom.peer == self.name:
-                    self.activate(atom.relation, network)
+                    self.activate(atom.relation, transport)
                 elif (atom.relation, atom.peer) not in self.subscriptions:
                     self.subscriptions.add((atom.relation, atom.peer))
-                    network.send(self.name, atom.peer or "", KIND_ACTIVATE,
+                    transport.send(self.name, atom.peer or "", KIND_ACTIVATE,
                                  {"relation": atom.relation, "subscriber": self.name})
 
     # -- message handling ---------------------------------------------------------
 
-    def on_message(self, message: Message, network: Network) -> None:
+    def on_message(self, message: Message, transport: Transport) -> None:
         if message.kind == KIND_ACTIVATE:
             relation = message.payload["relation"]
             subscriber = message.payload["subscriber"]
-            self.activate(relation, network)
+            self.activate(relation, transport)
             existing = self.subscribers.setdefault(relation, set())
             if subscriber not in existing:
                 existing.add(subscriber)
                 current = self.db.facts((relation, self.name))
                 if current:
-                    self._send_facts(network, subscriber, relation, list(current))
-            self.evaluate(network)
+                    self._send_facts(transport, subscriber, relation, list(current))
+            self.evaluate(transport)
         elif message.kind == KIND_FACTS:
             relation = message.payload["relation"]
             owner = message.payload["owner"]
             added = self.db.add_all((relation, owner), message.payload["tuples"])
             self.counters.add("replica_tuples", added)
-            self.evaluate(network)
+            self.evaluate(transport)
         else:
             raise DistributedError(f"unexpected message kind {message.kind}")
 
     # -- local work -----------------------------------------------------------------
 
-    def evaluate(self, network: Network) -> None:
+    def evaluate(self, transport: Transport) -> None:
         """Run the local rules to fixpoint and stream new local facts."""
         lengths_before = {key: len(self.db.facts(key)) for key in self.db.relations()}
         self.evaluator.run()
@@ -158,12 +161,12 @@ class _NaivePeer:
             if not new:
                 continue
             for subscriber in self.subscribers.get(relation, ()):
-                self._send_facts(network, subscriber, relation, list(new))
+                self._send_facts(transport, subscriber, relation, list(new))
 
-    def _send_facts(self, network: Network, recipient: str, relation: str,
+    def _send_facts(self, transport: Transport, recipient: str, relation: str,
                     tuples: list[Fact]) -> None:
         self.counters.add("tuples_shipped", len(tuples))
-        network.send(self.name, recipient, KIND_FACTS,
+        transport.send(self.name, recipient, KIND_FACTS,
                      {"relation": relation, "owner": self.name, "tuples": tuples})
 
 
@@ -189,18 +192,52 @@ class NaiveDistResult:
         return self.peer_failure.report if self.peer_failure is not None else None
 
 
+def _build_naive_peer(*, name: str, detector: object = None,
+                      rules: tuple[Rule, ...], budget: EvaluationBudget,
+                      unsafe_negation: bool,
+                      facts: dict[RelationKey, list[Fact]]) -> _NaivePeer:
+    """Module-level peer factory (picklable for the mp transport).
+
+    The naive engine reaches its fixpoint by transport quiescence alone,
+    so the ``detector`` argument of the factory contract is ignored.
+    """
+    peer = _NaivePeer(name, rules, budget, unsafe_negation=unsafe_negation)
+    for key, tuples in facts.items():
+        peer.db.add_all(key, tuples)
+    return peer
+
+
+def _start_naive(peer: _NaivePeer, transport: Transport, *,
+                 relation: str) -> None:
+    """Activate the queried relation at the origin peer."""
+    peer.activate(relation, transport)
+    peer.evaluate(transport)
+
+
 class DistributedNaiveEngine:
-    """Drives a distributed naive evaluation over a simulated network."""
+    """Drives a distributed naive evaluation over a pluggable transport.
+
+    ``transport`` selects the substrate exactly as in
+    :class:`repro.distributed.dqsq.DqsqEngine`.  Note that
+    ``unsafe_negation=True`` marks the job *order-sensitive*, so the
+    multiprocessing transport refuses it unless explicitly overridden --
+    fire-time negation only makes sense under the simulator's seeded,
+    replayable schedules.
+    """
 
     def __init__(self, program: DDatalogProgram, edb: Database | None = None,
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
-                 check: bool = True, unsafe_negation: bool = False) -> None:
+                 check: bool = True, unsafe_negation: bool = False,
+                 transport: str | TransportRuntime = "sim",
+                 mp_config: object = None) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.options = options or NetworkOptions()
         self._edb = edb or Database()
         self.unsafe_negation = unsafe_negation
+        self.transport = transport
+        self.mp_config = mp_config
         if check:
             from repro.datalog.analysis import check_program
             # DD403 escalates to an error here: peers never subscribe to
@@ -221,51 +258,38 @@ class DistributedNaiveEngine:
         atom = query.atom
         if atom.peer is None:
             raise DistributedError("distributed queries must target a located atom")
-        network = Network(self.options)
-        peers: dict[str, _NaivePeer] = {}
         names = set(self.program.peers()) | {atom.peer}
-        for key in self._edb.relations():
-            if key[1] is not None:
-                names.add(key[1])
-        for name in sorted(names):
-            peer = _NaivePeer(name, self.program.rules_at(name), self.budget,
-                              unsafe_negation=self.unsafe_negation)
-            peers[name] = peer
-            network.register(name, peer)
+        edb_by_peer: dict[str, dict[RelationKey, list[Fact]]] = {}
         for key in self._edb.relations():
             relation, owner = key
             if owner is None:
                 raise DistributedError(f"EDB relation {relation} is not located")
-            peers[owner].db.add_all(key, self._edb.facts(key))
+            names.add(owner)
+            edb_by_peer.setdefault(owner, {})[key] = list(self._edb.facts(key))
 
-        origin = peers[atom.peer]
-        origin.activate(atom.relation, network)
-        origin.evaluate(network)
-        transport_error: TransportExhausted | None = None
-        peer_failure: PeerUnavailable | None = None
-        try:
-            network.run_until_quiescent()
-        except TransportExhausted as err:
-            transport_error = err
-        except PeerUnavailable as err:
-            peer_failure = err
-        else:
-            failed = network.failed_peers()
-            if failed:
-                peer_failure = PeerUnavailable(peers=failed,
-                                               report=network.peer_report())
+        specs = {
+            name: PeerSpec(_build_naive_peer, {
+                "rules": tuple(self.program.rules_at(name)),
+                "budget": self.budget,
+                "unsafe_negation": self.unsafe_negation,
+                "facts": edb_by_peer.get(name, {}),
+            })
+            for name in names}
+        job = TransportJob(
+            peers=specs, origin=atom.peer,
+            start=functools.partial(_start_naive, relation=atom.relation),
+            program=self.program.program,
+            order_sensitive=self.unsafe_negation)
+        runtime = resolve_transport(self.transport, self.options,
+                                    self.mp_config)
+        outcome = runtime.run(job)
 
-        answers = select(origin.db, Atom(atom.relation, atom.args, atom.peer))
-        counters = Counters()
-        counters.merge(network.counters)
-        per_peer: dict[str, Counters] = {}
-        for name, peer in peers.items():
-            peer.counters.merge(peer.evaluator.counters)
-            per_peer[name] = peer.counters
-            counters.merge(peer.counters)
+        origin_db = outcome.databases.get(atom.peer, Database())
+        answers = select(origin_db, Atom(atom.relation, atom.args, atom.peer))
+        counters = outcome.merged_counters()
         counters.add("facts_materialized_global",
-                     sum(peer.db.total_facts() for peer in peers.values()))
+                     sum(db.total_facts() for db in outcome.databases.values()))
         return NaiveDistResult(answers=answers, counters=counters,
-                               per_peer=per_peer,
-                               transport_error=transport_error,
-                               peer_failure=peer_failure)
+                               per_peer=outcome.per_peer,
+                               transport_error=outcome.transport_error,
+                               peer_failure=outcome.peer_failure)

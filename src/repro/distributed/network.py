@@ -44,6 +44,16 @@ from a first delivery.  A peer that is down with no scheduled restart is
 unhealed partitions) remain, the network raises
 :class:`repro.errors.PeerUnavailable` with a per-peer failure report,
 which the engines turn into a sound degraded (partial) result.
+
+Since PR 6 the network is the ``"sim"`` implementation of the pluggable
+transport API (:mod:`repro.distributed.transport`): it structurally
+satisfies the peer-facing :class:`~repro.distributed.transport.Transport`
+protocol (``send`` / ``trace_marker`` / ``delivering_replayed``), and
+:class:`~repro.distributed.transport.SimTransportRuntime` drives whole
+evaluations over it.  Everything above this paragraph -- seeded
+schedules, fault plans, crash/recovery, tracing, choosers -- is
+simulator-only capability that the multiprocessing transport
+deliberately does not offer.
 """
 
 from __future__ import annotations
@@ -52,11 +62,14 @@ import pickle
 import random
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Mapping, Protocol
+from typing import TYPE_CHECKING, Any, Callable, Mapping, Protocol
 
 from repro.errors import (NetworkClosedError, PeerUnavailable,
                           TransportExhausted, UnknownPeerError)
 from repro.utils.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distributed.transport import Transport
 
 @dataclass(frozen=True)
 class FaultPlan:
@@ -224,9 +237,15 @@ class Message:
 
 
 class PeerHandler(Protocol):
-    """Anything that can receive messages from the network."""
+    """Anything that can receive messages from a transport.
 
-    def on_message(self, message: Message, network: "Network") -> None:  # pragma: no cover
+    Handlers are written against the peer-facing
+    :class:`~repro.distributed.transport.Transport` protocol only, so
+    the same peer runtime runs on the simulator and on the
+    multiprocessing transport.
+    """
+
+    def on_message(self, message: Message, transport: "Transport") -> None:  # pragma: no cover
         ...
 
 

@@ -45,13 +45,26 @@ network provides through its lifecycle events:
   **skipped** by ``on_basic_receive`` and ``on_ack`` alike: the
   pre-crash incarnation already counted them, and counting a replayed
   DS acknowledgement twice would drive some deficit negative.
+
+The detector speaks only the peer-facing
+:class:`~repro.distributed.transport.Transport` protocol.  On the
+simulator a single instance is shared by all peers (and doubles as the
+network's lifecycle listener); on the multiprocessing transport each
+worker process runs its *own* instance -- the algorithm is naturally
+decentralized (every hook touches only one node's state, and engagement
+acknowledgements travel as ordinary messages), so per-process instances
+implement exactly the distributed protocol the paper points to.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.distributed.network import Message, Network
+from repro.distributed.network import Message
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distributed.transport import Transport
 
 ACK_KIND = "ds-ack"
 
@@ -119,19 +132,19 @@ class DijkstraScholten:
             # Already engaged elsewhere: acknowledge immediately.
             self._ack_queue.append((message.recipient, message.sender, 1))
 
-    def on_ack(self, message: Message, network: Network) -> None:
+    def on_ack(self, message: Message, transport: Transport) -> None:
         """An acknowledgement arrived for ``message.recipient``."""
         state = self._state(message.recipient)
         state.deficit -= int(message.payload)
         if state.deficit < 0:
             raise AssertionError("acknowledgement deficit went negative")
-        self.peer_passive(message.recipient, network)
+        self.peer_passive(message.recipient, transport)
 
-    def peer_passive(self, peer: str, network: Network) -> None:
+    def peer_passive(self, peer: str, transport: Transport) -> None:
         """Called when ``peer`` finishes local work (end of its handler)."""
         state = self._state(peer)
         if peer in self._recovering:
-            self._try_retire(peer, network)
+            self._try_retire(peer, transport)
             return
         if state.engaged and state.deficit == 0:
             if peer == self.root:
@@ -144,11 +157,11 @@ class DijkstraScholten:
                 state.engaged = False
                 if count:
                     self._ack_queue.append((peer, parent, count))
-        self.flush(network)
+        self.flush(transport)
 
     # -- crash recovery (driven by the network's lifecycle events) -------------
 
-    def on_peer_crash(self, peer: str, network: Network) -> None:
+    def on_peer_crash(self, peer: str, transport: Transport) -> None:
         """``peer`` died, losing its volatile protocol state.
 
         The failure detector settles its debts: acknowledgements it owed
@@ -167,9 +180,9 @@ class DijkstraScholten:
         state.engaged = False
         self._recovering.pop(peer, None)
         self._down.add(peer)
-        self.flush(network)
+        self.flush(transport)
 
-    def on_peer_restart(self, peer: str, network: Network) -> None:
+    def on_peer_restart(self, peer: str, transport: Transport) -> None:
         """``peer`` is back: engage it as a recovery root."""
         state = self._state(peer)
         state.engaged = True
@@ -179,17 +192,17 @@ class DijkstraScholten:
         self._recovering[peer] = False
         self._terminated = False
 
-    def on_peer_recovered(self, peer: str, network: Network) -> None:
+    def on_peer_recovered(self, peer: str, transport: Transport) -> None:
         """``peer`` finished replaying its checkpoint gap."""
         if peer in self._recovering:
             self._recovering[peer] = True
-            self._try_retire(peer, network)
+            self._try_retire(peer, transport)
 
-    def _try_retire(self, peer: str, network: Network) -> None:
+    def _try_retire(self, peer: str, transport: Transport) -> None:
         """Retire a recovery root once caught up, passive and settled."""
         state = self._state(peer)
         if not self._recovering.get(peer, False) or state.deficit != 0:
-            self.flush(network)
+            self.flush(transport)
             return
         del self._recovering[peer]
         if peer != self.root:
@@ -198,12 +211,12 @@ class DijkstraScholten:
         if (self._root_started and not self._recovering and not self._down
                 and root_state.engaged and root_state.deficit == 0):
             self._terminated = True
-        self.flush(network)
+        self.flush(transport)
 
     # -- ack transport ----------------------------------------------------------
 
-    def flush(self, network: Network) -> None:
+    def flush(self, transport: Transport) -> None:
         """Send queued acknowledgements through the network."""
         while self._ack_queue:
             sender, recipient, count = self._ack_queue.pop()
-            network.send(sender, recipient, ACK_KIND, count)
+            transport.send(sender, recipient, ACK_KIND, count)

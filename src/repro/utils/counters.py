@@ -4,31 +4,18 @@ Every engine in the library (bottom-up evaluation, QSQ, dQSQ, the dedicated
 diagnoser) reports its work through a :class:`Counters` instance so that the
 experiment harness can compare "quantity of materialized data" and message
 traffic -- the paper's figures of merit (Sections 3.1 and 4.3).
+
+Naming convention: run-level network counters live under ``net.*``
+(``net.seed``, ``net.dropped``, ``net.recovery.crashes``, ...), the
+multiprocessing transport reports under ``mp.*``, and engine-level
+counters are unprefixed (``rewritings``, ``tuples_shipped``).  The PR-4
+``recovery.*`` spelling was deprecated in PR 5 and removed in PR 6.
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
 from typing import Iterator
-
-#: Deprecated counter-name prefixes and their canonical replacements.
-#: PR 4 introduced run-level recovery counters as ``recovery.*`` while
-#: every other network-run counter lives under ``net.*`` (``net.seed``,
-#: ``net.dropped``, ...).  The canonical names are now ``net.recovery.*``;
-#: this table is the deprecation shim -- reads and writes using the old
-#: prefix are transparently redirected, so external callers keep working
-#: while :meth:`Counters.as_dict` reports canonical names only.
-DEPRECATED_PREFIXES: dict[str, str] = {
-    "recovery.": "net.recovery.",
-}
-
-
-def canonical_name(name: str) -> str:
-    """Map a (possibly deprecated) counter name to its canonical form."""
-    for old, new in DEPRECATED_PREFIXES.items():
-        if name.startswith(old):
-            return new + name[len(old):]
-    return name
 
 
 class Counters:
@@ -41,13 +28,6 @@ class Counters:
     4
     >>> c["missing"]
     0
-
-    Deprecated names (see :data:`DEPRECATED_PREFIXES`) are redirected to
-    their canonical replacements on both reads and writes:
-
-    >>> c.add("recovery.crashes")
-    >>> c["net.recovery.crashes"], c["recovery.crashes"]
-    (1, 1)
     """
 
     def __init__(self) -> None:
@@ -57,19 +37,18 @@ class Counters:
         """Increment counter ``name`` by ``amount`` (default 1)."""
         if amount < 0:
             raise ValueError(f"counters are monotone; cannot add {amount}")
-        self._values[canonical_name(name)] += amount
+        self._values[name] += amount
 
     def set_max(self, name: str, value: int) -> None:
         """Record the maximum of the current value and ``value``."""
-        name = canonical_name(name)
         if value > self._values[name]:
             self._values[name] = value
 
     def __getitem__(self, name: str) -> int:
-        return self._values.get(canonical_name(name), 0)
+        return self._values.get(name, 0)
 
     def __contains__(self, name: str) -> bool:
-        return canonical_name(name) in self._values
+        return name in self._values
 
     def __iter__(self) -> Iterator[str]:
         return iter(sorted(self._values))

@@ -93,9 +93,9 @@ class TestNetworkLifecycle:
             if payload not in seen:
                 seen.append(payload)
         assert seen == list(range(8))
-        assert network.counters["recovery.crashes"] == 1
-        assert network.counters["recovery.restarts"] == 1
-        assert network.counters["recovery.checkpoints_restored"] == 1
+        assert network.counters["net.recovery.crashes"] == 1
+        assert network.counters["net.recovery.restarts"] == 1
+        assert network.counters["net.recovery.checkpoints_restored"] == 1
         assert network.is_up("b")
 
     def test_seed_is_recorded_for_replay(self):
@@ -135,7 +135,7 @@ class TestNetworkLifecycle:
         # Flushed frames are re-sent by the reliability layer, so nothing
         # is lost end to end.
         assert sorted(set(handlers["b"].received)) == list(range(6))
-        assert network.counters["recovery.frames_flushed"] >= 1
+        assert network.counters["net.recovery.frames_flushed"] >= 1
 
     def test_crashing_non_checkpointable_peer_is_an_error(self):
         network = Network(NetworkOptions(peer_fault=PeerFaultPlan(
@@ -154,7 +154,7 @@ class TestNetworkLifecycle:
             for i in range(10):
                 network.send("a", "b", "n", i)
             network.run_until_quiescent()
-            return network.counters["recovery.crashes"]
+            return network.counters["net.recovery.crashes"]
 
         crashes = [run(seed) for seed in range(6)]
         assert all(c <= 2 for c in crashes)  # one per peer at most
@@ -188,7 +188,7 @@ class TestNetworkLifecycle:
         network.send("a", "b", "n", 0)
         network.run_until_quiescent()
         assert handlers["b"].received == [0]
-        assert network.counters["recovery.restarts"] == 1
+        assert network.counters["net.recovery.restarts"] == 1
 
     def test_lifecycle_listener_sequence(self):
         events = []
@@ -228,7 +228,7 @@ class TestDqsqRecovery:
         assert result.answers == oracle
         assert not result.partial
         assert result.terminated_by_detector is True
-        assert result.counters["recovery.checkpoints_restored"] >= 1
+        assert result.counters["net.recovery.checkpoints_restored"] >= 1
 
     def test_permanent_death_degrades_to_sound_subset(self):
         program, edb = _figure3()
@@ -278,7 +278,7 @@ class TestNaiveDistRecovery:
                                         options=options).query(QUERY)
         assert result.answers == oracle
         assert not result.partial
-        assert result.counters["recovery.checkpoints_restored"] >= 1
+        assert result.counters["net.recovery.checkpoints_restored"] >= 1
 
     def test_permanent_death_degrades(self):
         program, edb = _figure3()
@@ -309,7 +309,7 @@ class TestDiagnosisRecovery:
                                     use_termination_detector=True)
             assert result.diagnoses == oracle
             assert not result.partial
-            assert result.counters["recovery.checkpoints_restored"] >= 1
+            assert result.counters["net.recovery.checkpoints_restored"] >= 1
 
     def test_figure1_permanent_death_degrades(self):
         import repro

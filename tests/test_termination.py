@@ -246,8 +246,8 @@ class TestProtocolUnderCrashes:
         network.run_until_quiescent()
         assert detector.terminated, "liveness: detector never fired"
         assert _unsettled_basic(network) == 0
-        if network.counters["recovery.crashes"]:
-            assert network.counters["recovery.restarts"] >= 1
+        if network.counters["net.recovery.crashes"]:
+            assert network.counters["net.recovery.restarts"] >= 1
 
     @settings(max_examples=20, deadline=None)
     @given(seed=st.integers(0, 10_000),

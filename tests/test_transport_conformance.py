@@ -1,0 +1,338 @@
+"""Transport conformance suite: one contract, two substrates.
+
+Every test here is a statement about the transport API of
+:mod:`repro.distributed.transport`, checked against both registered
+runtimes where the capability exists:
+
+* **answer equivalence** -- the e6 diagnosis, the Figure 3 dQSQ query
+  and a distributed-naive run produce *identical* results on the
+  multiprocessing transport and on the simulator oracle;
+* **delivery contract** -- per-channel FIFO and exactly-once delivery,
+  observed directly through a recording peer driven by a raw
+  :class:`TransportJob` (and, on the simulator, preserved under seeded
+  drops/duplicates and under crash + checkpoint-replay recovery);
+* **capability fences** -- simulator-only options are rejected on mp,
+  the confluence gate refuses order-sensitive jobs and non-confluent
+  programs, and ``MpConfig(allow_nonconfluent=True)`` opts out;
+* **the RunConfig facade** -- legacy ``diagnose()`` keyword arguments
+  warn :class:`ReproDeprecationWarning` and fold into an equivalent
+  :class:`repro.RunConfig`.
+
+Simulator-only capabilities are feature-gated via
+``TransportRuntime.features`` rather than hard-coded, so a third
+transport would slot into the same suite.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+import repro
+from repro.datalog.database import Database
+from repro.datalog.naive import load_facts
+from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.rule import Query
+from repro.diagnosis.alarms import AlarmSequence
+from repro.diagnosis.supervisor import SupervisorEncoder
+from repro.distributed.ddatalog import DDatalogProgram
+from repro.distributed.dqsq import DqsqEngine
+from repro.distributed.mp import MpConfig
+from repro.distributed.naive_dist import DistributedNaiveEngine
+from repro.distributed.network import FaultPlan, NetworkOptions, PeerFaultPlan
+from repro.distributed.race import RACY_TEXT, RecordingChooser
+from repro.distributed.transport import (PeerSpec, TransportJob,
+                                         resolve_transport)
+from repro.errors import DistributedError, ReproDeprecationWarning
+from repro.experiments.registry import FIGURE3_TEXT
+from repro.petri.examples import figure1_alarm_scenarios, figure1_net
+from repro.utils.counters import Counters
+
+TRANSPORTS = ("sim", "mp")
+
+#: small wall-clock budget: a conformance hang should fail fast, not
+#: sit out the mp default timeout
+MP = MpConfig(timeout=60.0)
+
+
+def _runtime(transport: str, options: NetworkOptions | None = None):
+    return resolve_transport(transport, options, mp_config=MP)
+
+
+def _figure3():
+    parsed = parse_program(FIGURE3_TEXT)
+    return DDatalogProgram(parsed), load_facts(parsed)
+
+
+F3_QUERY = Query(parse_atom('r@r("1", Y)'))
+
+
+# -- answer equivalence: mp against the simulator oracle -----------------------
+
+
+@pytest.fixture(scope="module")
+def figure3_oracle():
+    """Figure 3 answers on the deterministic simulator."""
+    program, edb = _figure3()
+    result = DqsqEngine(program, edb).query(F3_QUERY)
+    assert result.answers, "oracle run produced no answers"
+    return frozenset(result.answers)
+
+
+@pytest.fixture(scope="module")
+def e6_problem():
+    return figure1_net(), AlarmSequence(figure1_alarm_scenarios()["bac"])
+
+
+@pytest.fixture(scope="module")
+def e6_oracle(e6_problem):
+    petri, alarms = e6_problem
+    result = repro.diagnose(petri, alarms, method="dqsq")
+    assert result.diagnoses
+    return result.diagnoses
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_figure3_dqsq_answers_identical(transport, figure3_oracle):
+    program, edb = _figure3()
+    result = DqsqEngine(program, edb, transport=transport,
+                        mp_config=MP).query(F3_QUERY)
+    assert frozenset(result.answers) == figure3_oracle
+    assert not result.partial
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_figure3_with_termination_detector(transport, figure3_oracle):
+    program, edb = _figure3()
+    result = DqsqEngine(program, edb, use_termination_detector=True,
+                        transport=transport, mp_config=MP).query(F3_QUERY)
+    assert frozenset(result.answers) == figure3_oracle
+    assert result.terminated_by_detector is True
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_e6_diagnosis_identical(transport, e6_problem, e6_oracle):
+    petri, alarms = e6_problem
+    config = repro.RunConfig(transport=transport, mp=MP)
+    result = repro.diagnose(petri, alarms, method="dqsq", config=config)
+    assert result.diagnoses == e6_oracle
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_e6_supervisor_encoding_direct(transport, e6_problem):
+    """The e6 program run as a raw dQSQ query, not through the facade."""
+    petri, alarms = e6_problem
+    encoder = SupervisorEncoder(petri, alarms)
+    oracle = frozenset(
+        DqsqEngine(encoder.program(), Database(),
+                   check=False).query(Query(encoder.query_atom())).answers)
+    result = DqsqEngine(encoder.program(), Database(), check=False,
+                        transport=transport,
+                        mp_config=MP).query(Query(encoder.query_atom()))
+    assert frozenset(result.answers) == oracle
+
+
+def test_e9_recovery_matches_mp_fault_free(figure3_oracle):
+    """E9's crash/recovery run (simulator) converges to the same answers
+    the mp transport computes fault-free: recovery is answer-invisible."""
+    program, edb = _figure3()
+    victim = sorted(program.peers())[0]
+    options = NetworkOptions(peer_fault=PeerFaultPlan(
+        crash_at={victim: (2,)}, restart_after_deliveries=8))
+    recovered = DqsqEngine(program, edb, options=options).query(F3_QUERY)
+    assert recovered.counters["net.recovery.crashes"] >= 1
+    assert frozenset(recovered.answers) == figure3_oracle
+    parallel = DqsqEngine(program, edb, transport="mp",
+                          mp_config=MP).query(F3_QUERY)
+    assert frozenset(parallel.answers) == figure3_oracle
+
+
+CHAIN_TEXT = """
+path@a(X, Y) :- edge@a(X, Y).
+path@a(X, Y) :- path@a(X, Z), hop@b(Z, Y).
+hop@b(X, Y) :- edge@b(X, Y).
+goal@c(X, Y) :- path@a(X, Y).
+edge@a("1", "2").
+edge@b("2", "3").
+edge@b("3", "4").
+"""
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_distributed_naive_answers_identical(transport):
+    parsed = parse_program(CHAIN_TEXT)
+    program, edb = DDatalogProgram(parsed), load_facts(parsed)
+    query = Query(parse_atom('goal@c("1", Y)'))
+    oracle = frozenset(DistributedNaiveEngine(program, edb).query(query).answers)
+    assert oracle
+    result = DistributedNaiveEngine(program, edb, transport=transport,
+                                    mp_config=MP).query(query)
+    assert frozenset(result.answers) == oracle
+
+
+# -- the delivery contract, observed through a recording peer ------------------
+
+
+class _RecorderPeer:
+    """Appends every delivery to its database, in arrival order."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.db = Database()
+        self.counters = Counters()
+
+    def on_message(self, message, transport) -> None:
+        self.counters.add("recorded")
+        self.db.add_all(("seen", self.name), [(message.kind, message.payload)],
+                        assume_ground=True)
+
+
+def _build_recorder(*, name, detector=None, **_kwargs):
+    return _RecorderPeer(name)
+
+
+def _start_burst(peer, transport, *, count):
+    for i in range(1, count + 1):
+        transport.send(peer.name, "sink", "ping", f"m{i:03d}")
+
+
+def _burst_job(count: int) -> TransportJob:
+    return TransportJob(
+        peers={"src": PeerSpec(_build_recorder),
+               "sink": PeerSpec(_build_recorder)},
+        origin="src",
+        start=functools.partial(_start_burst, count=count))
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_fifo_exactly_once(transport):
+    """One channel, N messages: delivered exactly once, in send order."""
+    outcome = _runtime(transport).run(_burst_job(25))
+    seen = list(outcome.databases["sink"].facts(("seen", "sink")))
+    assert seen == [("ping", f"m{i:03d}") for i in range(1, 26)]
+    assert outcome.per_peer["sink"]["recorded"] == 25
+    assert outcome.deliveries == 25
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_exactly_once_under_seeded_drops(transport):
+    """Seeded loss + duplication: the reliability layer restores the
+    exactly-once FIFO contract (simulator capability)."""
+    if "faults" not in _runtime(transport).features:
+        pytest.skip("fault injection is a simulator-only capability")
+    options = NetworkOptions(seed=11, fault=FaultPlan(
+        drop_probability=0.3, duplicate_probability=0.2))
+    outcome = _runtime(transport, options).run(_burst_job(25))
+    seen = list(outcome.databases["sink"].facts(("seen", "sink")))
+    assert seen == [("ping", f"m{i:03d}") for i in range(1, 26)]
+    assert outcome.counters["net.dropped"] > 0
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_answers_survive_checkpoint_replay(transport, figure3_oracle):
+    """Crash + checkpoint replay reconverges to the oracle answers
+    (simulator capability; e9's schedule needs deterministic delivery)."""
+    if "checkpoints" not in _runtime(transport).features:
+        pytest.skip("crash/recovery is a simulator-only capability")
+    program, edb = _figure3()
+    victim = sorted(program.peers())[0]
+    options = NetworkOptions(peer_fault=PeerFaultPlan(
+        crash_at={victim: (2,)}, restart_after_deliveries=6))
+    result = DqsqEngine(program, edb, options=options,
+                        transport=transport).query(F3_QUERY)
+    assert result.counters["net.recovery.crashes"] >= 1
+    assert result.counters["net.recovery.checkpoints_restored"] >= 1
+    assert frozenset(result.answers) == figure3_oracle
+
+
+# -- capability fences ---------------------------------------------------------
+
+
+def test_mp_rejects_simulator_only_options():
+    cases = [
+        NetworkOptions(fault=FaultPlan(drop_probability=0.1)),
+        NetworkOptions(peer_fault=PeerFaultPlan(crash_at={"r": (1,)})),
+        NetworkOptions(chooser=RecordingChooser()),
+    ]
+    for options in cases:
+        with pytest.raises(DistributedError, match="simulator-only"):
+            resolve_transport("mp", options)
+
+
+def test_unknown_transport_name():
+    with pytest.raises(DistributedError, match="unknown transport"):
+        resolve_transport("carrier-pigeon")
+
+
+def test_mp_refuses_order_sensitive_job():
+    """Fire-time negation is order-sensitive by construction: the mp
+    transport refuses it regardless of any program analysis."""
+    parsed = parse_program(RACY_TEXT, check=False)
+    engine = DistributedNaiveEngine(
+        DDatalogProgram(parsed), load_facts(parsed), check=False,
+        unsafe_negation=True, transport="mp", mp_config=MP)
+    with pytest.raises(DistributedError, match="order-sensitive"):
+        engine.query(Query(parse_atom("verdict@s(X)")))
+
+
+def test_mp_refuses_nonconfluent_program():
+    """Even without the order-sensitive flag, the DD701-DD703 verdict of
+    the racy program trips the confluence gate."""
+    parsed = parse_program(RACY_TEXT, check=False)
+    engine = DistributedNaiveEngine(
+        DDatalogProgram(parsed), load_facts(parsed), check=False,
+        transport="mp", mp_config=MP)
+    with pytest.raises(DistributedError, match="confluent"):
+        engine.query(Query(parse_atom("verdict@s(X)")))
+
+
+def test_mp_allow_nonconfluent_override():
+    parsed = parse_program(RACY_TEXT, check=False)
+    engine = DistributedNaiveEngine(
+        DDatalogProgram(parsed), load_facts(parsed), check=False,
+        unsafe_negation=True, transport="mp",
+        mp_config=MpConfig(timeout=60.0, allow_nonconfluent=True))
+    result = engine.query(Query(parse_atom("verdict@s(X)")))
+    # The answers are schedule-dependent by design; the contract here is
+    # only that the opt-in actually runs the job to quiescence.
+    assert result.transport_error is None and result.peer_failure is None
+
+
+def test_sim_runtime_features():
+    sim = resolve_transport("sim")
+    assert {"faults", "checkpoints", "deterministic"} <= sim.features
+    mp = _runtime("mp")
+    assert "parallel" in mp.features
+    assert "faults" not in mp.features
+
+
+# -- the RunConfig facade ------------------------------------------------------
+
+
+def test_legacy_diagnose_kwargs_warn_and_fold(e6_problem):
+    petri, alarms = e6_problem
+    with pytest.warns(ReproDeprecationWarning,
+                      match="use_termination_detector"):
+        legacy = repro.diagnose(petri, alarms, use_termination_detector=True)
+    modern = repro.diagnose(
+        petri, alarms,
+        config=repro.RunConfig(use_termination_detector=True))
+    assert legacy.diagnoses == modern.diagnoses
+
+
+def test_legacy_options_kwarg_warns(e6_problem):
+    petri, alarms = e6_problem
+    with pytest.warns(ReproDeprecationWarning, match="options"):
+        result = repro.diagnose(petri, alarms,
+                                options=NetworkOptions(seed=3))
+    assert result.diagnoses
+
+
+def test_runconfig_rejects_faults_on_mp(e6_problem):
+    petri, alarms = e6_problem
+    config = repro.RunConfig(
+        transport="mp",
+        options=NetworkOptions(fault=FaultPlan(drop_probability=0.2)))
+    with pytest.raises(DistributedError, match="simulator-only"):
+        repro.diagnose(petri, alarms, method="dqsq", config=config)

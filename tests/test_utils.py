@@ -113,33 +113,24 @@ class TestOrders:
         assert [set(c) for c in components] == [{"a"}]
 
 
-class TestCounterDeprecationShim:
-    def test_canonical_name_rewrites_prefix(self):
-        from repro.utils.counters import canonical_name
-        assert canonical_name("recovery.crashes") == "net.recovery.crashes"
-        assert canonical_name("net.recovery.crashes") == "net.recovery.crashes"
-        assert canonical_name("sanitizer.events") == "sanitizer.events"
+class TestCounterNames:
+    """The PR-5 ``recovery.*`` shim is gone: names are taken literally."""
 
-    def test_legacy_writes_land_on_canonical_key(self):
+    def test_canonical_name_helper_removed(self):
+        import repro.utils.counters as counters_module
+        assert not hasattr(counters_module, "canonical_name")
+        assert not hasattr(counters_module, "DEPRECATED_PREFIXES")
+
+    def test_names_are_not_rewritten(self):
         counters = Counters()
         counters.add("recovery.restores", 2)
         counters.add("net.recovery.restores", 1)
-        assert counters["net.recovery.restores"] == 3
-        assert "recovery.restores" not in counters.as_dict()
+        assert counters["recovery.restores"] == 2
+        assert counters["net.recovery.restores"] == 1
+        assert "recovery.restores" in counters.as_dict()
 
-    def test_legacy_reads_see_canonical_value(self):
+    def test_set_max_is_literal(self):
         counters = Counters()
-        counters.add("net.recovery.crashes", 4)
-        assert counters["recovery.crashes"] == 4
-        assert "recovery.crashes" in counters
-
-    def test_set_max_goes_through_shim(self):
-        counters = Counters()
-        counters.set_max("recovery.depth", 3)
+        counters.set_max("net.recovery.depth", 3)
         counters.set_max("net.recovery.depth", 2)
         assert counters["net.recovery.depth"] == 3
-
-    def test_iteration_exposes_only_canonical_names(self):
-        counters = Counters()
-        counters.add("recovery.restores")
-        assert list(counters) == ["net.recovery.restores"]
