@@ -92,6 +92,11 @@ class RunConfig:
     transport: str | TransportRuntime = "sim"
     #: optional :class:`repro.distributed.mp.MpConfig` for ``"mp"``
     mp: Any = None
+    #: Datalog evaluation tier: ``False`` (reference interpreter, the
+    #: equivalence oracle), ``True`` (tuple-at-a-time compiled plans,
+    #: default) or ``"batched"`` (columnar batch kernels with per-rule
+    #: generated closures -- see :mod:`repro.datalog.batch`)
+    compiled: bool | str = True
     #: the supervisor peer that poses the diagnosis query
     supervisor: str = SUPERVISOR
     #: run the Dijkstra-Scholten detector alongside the evaluation
@@ -172,6 +177,7 @@ def diagnose(petri: PetriNet, alarms: AlarmSequence,
             supervisor=config.supervisor, budget=config.budget,
             options=config.options,
             use_termination_detector=config.use_termination_detector,
+            compiled=config.compiled,
             transport=config.transport, mp_config=config.mp)
         return engine.diagnose(alarms)
     if method is DiagnosisMethod.DEDICATED:

@@ -9,13 +9,16 @@ evaluators' joins near-linear.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Iterable, Iterator, Mapping, Sequence
+from typing import AbstractSet, Iterable, Iterator, Mapping, Sequence
 
 from repro.datalog.atom import Atom
+from repro.datalog.batch import Batch
 from repro.datalog.term import Term, Var, is_ground
 
 Fact = tuple[Term, ...]
 RelationKey = tuple[str, str | None]
+
+_EMPTY_FACTS: frozenset[Fact] = frozenset()
 
 
 class Database:
@@ -104,6 +107,38 @@ class Database:
         self._size += added
         return added
 
+    def add_batch(self, key: RelationKey, rows: Iterable[Fact],
+                  arity: int | None = None) -> Batch:
+        """Bulk-insert already-ground rows; returns the new facts columnar.
+
+        The workhorse of the batched evaluation tier: one call inserts a
+        whole derived block (indices and the change log maintained
+        incrementally, exactly as :meth:`add_ground` would) and hands
+        back the *genuinely new* facts as a :class:`Batch` -- which is
+        the next semi-naive delta, already in the kernels' columnar
+        layout.  ``arity`` disambiguates the batch shape when every row
+        was a duplicate (the rows themselves then carry no width).
+        """
+        store = self._facts[key]
+        ordered = self._ordered[key]
+        registry = self._indices.get(key)
+        log = self._change_log
+        fresh: list[Fact] = []
+        for row in rows:
+            tup = tuple(row)
+            if tup in store:
+                continue
+            store.add(tup)
+            ordered.append(tup)
+            log.append(key)
+            fresh.append(tup)
+            if registry:
+                for positions, index in registry.items():
+                    index_key = tuple(tup[i] for i in positions)
+                    index.setdefault(index_key, []).append(tup)
+        self._size += len(fresh)
+        return Batch.from_rows(fresh, arity=arity)
+
     # -- lookup -----------------------------------------------------------
 
     def facts(self, key: RelationKey) -> Sequence[Fact]:
@@ -165,6 +200,28 @@ class Database:
         re-deriving the bound positions on every call.
         """
         return self._index(key, positions).get(values, ())
+
+    def index_map(self, key: RelationKey, positions: tuple[int, ...],
+                  ) -> dict[tuple[Term, ...], list[Fact]]:
+        """The live hash index over ``positions`` (built on first use).
+
+        Exposed for the batched join kernels, which bind the returned
+        dict's ``.get`` once per batch -- one hash-table acquisition per
+        (relation, key-positions) pair per iteration -- instead of going
+        through :meth:`index_lookup` per probe.  The dict is maintained
+        incrementally by inserts, so callers must not mutate it.
+        """
+        return self._index(key, positions)
+
+    def fact_set(self, key: RelationKey) -> AbstractSet[Fact]:
+        """The relation's fact set (shared, read-only; empty if absent).
+
+        Batched kernels hoist this once per batch for negated-atom
+        membership tests (``contains`` per binding would re-pay the
+        method call and the defaultdict lookup).
+        """
+        facts = self._facts.get(key)
+        return facts if facts is not None else _EMPTY_FACTS
 
     def _index(self, key: RelationKey,
                positions: tuple[int, ...]) -> dict[tuple[Term, ...], list[Fact]]:

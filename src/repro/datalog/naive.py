@@ -17,9 +17,10 @@ from collections import deque
 from typing import Sequence
 
 from repro.datalog.atom import Atom
+from repro.datalog.batch import fire_batched
 from repro.datalog.database import Database, Fact, RelationKey
 from repro.datalog.evalutil import derive_head, iter_rule_bindings
-from repro.datalog.plan import PlanStats, plan_for
+from repro.datalog.plan import PlanStats, coerce_compiled, plan_for
 from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget
 from repro.datalog.unify import match_tuple
@@ -32,11 +33,11 @@ class NaiveEvaluator:
 
     def __init__(self, program: Program,
                  budget: EvaluationBudget | None = None,
-                 compiled: bool = True, check: bool = True) -> None:
+                 compiled: bool | str = True, check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
-        self.compiled = compiled
+        self.compiled = coerce_compiled(compiled)
         if check:
             from repro.datalog.analysis import check_program
             check_program(program, context="naive",
@@ -69,9 +70,36 @@ class NaiveEvaluator:
         self._plan_stats.flush_into(self.counters)
         return db
 
+    def flush_stats(self) -> None:
+        """Flush pending plan counters into :attr:`counters` (idempotent)."""
+        self._plan_stats.flush_into(self.counters)
+
     def _fire(self, rule: Rule, db: Database) -> bool:
         # Buffer then insert: see SemiNaiveEvaluator._fire.
         changed = False
+        if self.compiled == "batched":
+            plan = plan_for(self._plans, self._plan_stats, rule, None)
+            rows = fire_batched(plan, db, None, stats=self._plan_stats)
+            if not rows:
+                return False
+            self.counters.add("derivations", len(rows))
+            if self.budget.max_term_depth is not None:
+                kept: list[Fact] = []
+                prunes = 0
+                for args in rows:
+                    if self.budget.prunes_fact(args):
+                        prunes += 1
+                    else:
+                        kept.append(args)
+                if prunes:
+                    self.counters.add("pruned_deep_facts", prunes)
+                rows = kept
+            added = db.add_batch(plan.head_key, rows).length
+            if added:
+                self.counters.add("facts_materialized", added)
+                if db.total_facts() > self.budget.max_facts:
+                    raise BudgetExceeded("facts", self.budget.max_facts)
+            return added > 0
         if self.compiled:
             plan = plan_for(self._plans, self._plan_stats, rule, None)
             derived_facts: list[Fact] = []

@@ -33,13 +33,34 @@ models between the two paths.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from repro.datalog.atom import Atom, Inequality
 from repro.datalog.database import Database, Fact, RelationKey
 from repro.datalog.rule import Rule
 from repro.datalog.term import Func, Term, Var, variables_of
 from repro.utils.counters import Counters
+
+if TYPE_CHECKING:
+    from repro.datalog.batch import Kernel
+
+
+def coerce_compiled(value: bool | str) -> bool | str:
+    """Validate the three-tier evaluation knob.
+
+    ``False`` selects the reference interpreter
+    (:func:`~repro.datalog.evalutil.iter_rule_bindings`, the executable
+    specification), ``True`` the tuple-at-a-time compiled plans of this
+    module, and ``"batched"`` the columnar batch kernels of
+    :mod:`repro.datalog.batch`.  All three compute identical fixpoints
+    (a property-tested invariant); they differ only in speed.
+    """
+    if value is False or value is True or value == "batched":
+        return value
+    raise ValueError(
+        f"compiled must be False, True or 'batched'; got {value!r}")
+
 
 # -- term-level compilation ------------------------------------------------------
 #
@@ -149,10 +170,11 @@ class PlanStats:
 
     __slots__ = ("bindings_explored", "index_hits", "index_misses",
                  "full_scans", "delta_scans", "cache_hits", "cache_misses",
-                 "_flushed")
+                 "cache_evictions", "_flushed")
 
     _FIELDS = ("bindings_explored", "index_hits", "index_misses",
-               "full_scans", "delta_scans", "cache_hits", "cache_misses")
+               "full_scans", "delta_scans", "cache_hits", "cache_misses",
+               "cache_evictions")
 
     def __init__(self) -> None:
         self.bindings_explored = 0
@@ -162,6 +184,7 @@ class PlanStats:
         self.delta_scans = 0
         self.cache_hits = 0
         self.cache_misses = 0
+        self.cache_evictions = 0
         self._flushed: dict[str, int] = {}
 
     def flush_into(self, counters: Counters) -> None:
@@ -203,11 +226,15 @@ class JoinPlan:
     """A rule compiled for bottom-up evaluation (optionally delta-restricted)."""
 
     __slots__ = ("rule", "delta_position", "nslots", "var_slots", "steps",
-                 "pre_checks", "negated", "head_key", "head_builders")
+                 "pre_checks", "negated", "head_key", "head_builders",
+                 "batched_kernel")
 
     def __init__(self, rule: Rule, delta_position: int | None = None) -> None:
         self.rule = rule
         self.delta_position = delta_position
+        #: lazily generated columnar kernel (repro.datalog.batch); caching
+        #: it here lets the shared plan cache amortize codegen too
+        self.batched_kernel: Kernel | None = None
         order = _order_body(rule, delta_position)
         self.var_slots = _assign_slots(rule, order)
         self.nslots = len(self.var_slots)
@@ -434,27 +461,45 @@ def _assign_slots(rule: Rule, order: Sequence[int]) -> dict[Var, int]:
 
 # -- the plan cache --------------------------------------------------------------
 
-#: plans per (rule, delta_position); bounded FIFO so long-running
+#: plans per (rule, delta_position); a bounded LRU so long-running
 #: processes that keep generating fresh rewritten rules (every dQSQ
-#: diagnosis mints unique sup-relations) cannot grow it without bound
-_PLAN_CACHE: dict[tuple[Rule, int | None], JoinPlan] = {}
+#: diagnosis mints unique sup-relations) cannot grow it without bound,
+#: while hot plans (recursive rules fired every round) stay resident
+_PLAN_CACHE: OrderedDict[tuple[Rule, int | None], JoinPlan] = OrderedDict()
 _PLAN_CACHE_MAX = 16384
+_PLAN_CACHE_EVICTIONS = 0
 
 
 def compile_join_plan(rule: Rule, delta_position: int | None = None,
-                      counters: Counters | None = None) -> JoinPlan:
-    """The cached compiled plan for ``rule`` (optionally delta-restricted)."""
+                      counters: Counters | None = None,
+                      stats: PlanStats | None = None) -> JoinPlan:
+    """The cached compiled plan for ``rule`` (optionally delta-restricted).
+
+    Hits refresh the entry's LRU position; a miss that overflows the
+    capacity evicts the least-recently-used plan (recorded under
+    ``plan.cache_evictions``).  Eviction only ever costs recompilation:
+    plans are pure functions of ``(rule, delta_position)``, so answers
+    are unaffected (a regression-tested invariant).
+    """
+    global _PLAN_CACHE_EVICTIONS
     key = (rule, delta_position)
     plan = _PLAN_CACHE.get(key)
     if plan is None:
         plan = JoinPlan(rule, delta_position)
         if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
-            _PLAN_CACHE.pop(next(iter(_PLAN_CACHE)))
+            _PLAN_CACHE.popitem(last=False)
+            _PLAN_CACHE_EVICTIONS += 1
+            if stats is not None:
+                stats.cache_evictions += 1
+            if counters is not None:
+                counters.add("plan.cache_evictions")
         _PLAN_CACHE[key] = plan
         if counters is not None:
             counters.add("plan.cache_misses")
-    elif counters is not None:
-        counters.add("plan.cache_hits")
+    else:
+        _PLAN_CACHE.move_to_end(key)
+        if counters is not None:
+            counters.add("plan.cache_hits")
     return plan
 
 
@@ -472,7 +517,7 @@ def plan_for(cache: dict, stats: PlanStats, rule: Rule,
     key = (id(rule), delta_position)
     plan = cache.get(key)
     if plan is None:
-        plan = compile_join_plan(rule, delta_position)
+        plan = compile_join_plan(rule, delta_position, stats=stats)
         cache[key] = plan
         stats.cache_misses += 1
     else:
@@ -482,6 +527,26 @@ def plan_for(cache: dict, stats: PlanStats, rule: Rule,
 
 def plan_cache_size() -> int:
     return len(_PLAN_CACHE)
+
+
+def plan_cache_evictions() -> int:
+    """Process-lifetime LRU evictions from the shared plan cache."""
+    return _PLAN_CACHE_EVICTIONS
+
+
+def set_plan_cache_limit(limit: int) -> int:
+    """Set the shared cache's LRU capacity; returns the previous limit.
+
+    Mainly a test hook (the eviction regression suite shrinks the cache
+    to force churn); shrinking evicts immediately, oldest first.
+    """
+    global _PLAN_CACHE_MAX, _PLAN_CACHE_EVICTIONS
+    previous = _PLAN_CACHE_MAX
+    _PLAN_CACHE_MAX = max(1, limit)
+    while len(_PLAN_CACHE) > _PLAN_CACHE_MAX:
+        _PLAN_CACHE.popitem(last=False)
+        _PLAN_CACHE_EVICTIONS += 1
+    return previous
 
 
 def clear_plan_cache() -> None:

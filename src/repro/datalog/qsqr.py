@@ -21,8 +21,9 @@ from dataclasses import dataclass, field
 
 from repro.datalog.adornment import Adornment
 from repro.datalog.database import Database, Fact, RelationKey
-from repro.datalog.plan import (PlanStats, QsqrRulePlan, QsqrStep, ineqs_hold,
-                                run_builder, run_fact_ops)
+from repro.datalog.plan import (PlanStats, QsqrRulePlan, QsqrStep,
+                                coerce_compiled, ineqs_hold, run_builder,
+                                run_fact_ops)
 from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.seminaive import EvaluationBudget
 from repro.datalog.term import Term, Var, is_ground, substitute
@@ -50,11 +51,11 @@ class QsqrEvaluator:
 
     def __init__(self, program: Program,
                  budget: EvaluationBudget | None = None,
-                 compiled: bool = True, check: bool = True) -> None:
+                 compiled: bool | str = True, check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
-        self.compiled = compiled
+        self.compiled = coerce_compiled(compiled)
         if check:
             from repro.datalog.analysis import check_program
             check_program(program, context="qsqr",
@@ -93,10 +94,14 @@ class QsqrEvaluator:
                 raise BudgetExceeded("iterations", self.budget.max_iterations)
             before = (sum(len(v) for v in answers.values()),
                       sum(len(v) for v in demands.values()))
-            for key in list(demands):
-                relation, peer, pattern = key
-                for bound in list(demands[key]):
-                    self._process_demand(key, bound, db, answers, demands)
+            if self.compiled == "batched":
+                for key in list(demands):
+                    self._process_demand_batch(key, list(demands[key]), db,
+                                               answers, demands)
+            else:
+                for key in list(demands):
+                    for bound in list(demands[key]):
+                        self._process_demand(key, bound, db, answers, demands)
             after = (sum(len(v) for v in answers.values()),
                      sum(len(v) for v in demands.values()))
             if after == before:
@@ -113,7 +118,37 @@ class QsqrEvaluator:
         return QsqrResult(answers=final, counters=self.counters,
                           answer_tables=answers, demand_tables=demands)
 
+    def flush_stats(self) -> None:
+        """Flush pending plan counters into :attr:`counters` (idempotent)."""
+        self._plan_stats.flush_into(self.counters)
+
     # -- demand processing ---------------------------------------------------------
+
+    def _process_demand_batch(self, key: AdornedKey,
+                              bounds: list[tuple[Term, ...]], db: Database,
+                              answers: dict, demands: dict) -> None:
+        """Process a whole demand table in one sweep (the batched tier).
+
+        Inverts the ``demand x rule`` loop nest of
+        :meth:`_process_demand`: each rule's plan is looked up once per
+        sweep and replayed over every demand tuple, instead of paying
+        the plan-cache probe per (demand, rule) pair.  Answer/demand
+        accumulation is set-based and the pass loop runs to a global
+        fixpoint, so the processing order does not change the result.
+        """
+        relation, peer, pattern = key
+        bound_positions = Adornment(pattern).bound_positions()
+        for rule in self.program.rules_for(relation, peer):
+            cache_key = (id(rule), bound_positions)
+            plan = self._plans.get(cache_key)
+            if plan is None:
+                plan = QsqrRulePlan(rule, bound_positions, self._idb)
+                self._plans[cache_key] = plan
+                self._plan_stats.cache_misses += 1
+            else:
+                self._plan_stats.cache_hits += 1
+            for bound in bounds:
+                self._run_plan(plan, bound, db, answers, demands, key)
 
     def _process_demand(self, key: AdornedKey, bound: tuple[Term, ...],
                         db: Database, answers: dict, demands: dict) -> None:
@@ -283,7 +318,8 @@ class QsqrEvaluator:
 
 def qsqr_evaluate(program: Program, query: Query, db: Database | None = None,
                   budget: EvaluationBudget | None = None,
-                  compiled: bool = True, check: bool = True) -> QsqrResult:
+                  compiled: bool | str = True,
+                  check: bool = True) -> QsqrResult:
     """Convenience wrapper mirroring :func:`repro.datalog.qsq.qsq_evaluate`."""
     work_db = db.copy() if db is not None else Database()
     evaluator = QsqrEvaluator(program, budget, compiled=compiled, check=check)

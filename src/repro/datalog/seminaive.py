@@ -21,9 +21,10 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.datalog.atom import Atom
+from repro.datalog.batch import Batch, fire_batched
 from repro.datalog.database import Database, Fact, RelationKey
 from repro.datalog.evalutil import derive_head, iter_rule_bindings
-from repro.datalog.plan import PlanStats, plan_for
+from repro.datalog.plan import PlanStats, coerce_compiled, plan_for
 from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.term import Term, term_depth
 from repro.errors import BudgetExceeded
@@ -76,11 +77,11 @@ class IncrementalEvaluator:
     """
 
     def __init__(self, db: Database, budget: EvaluationBudget | None = None,
-                 compiled: bool = True) -> None:
+                 compiled: bool | str = True) -> None:
         self.db = db
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
-        self.compiled = compiled
+        self.compiled = coerce_compiled(compiled)
         self._plan_stats = PlanStats()
         #: id-keyed plan map (see repro.datalog.plan.plan_for)
         self._plans: dict = {}
@@ -127,6 +128,7 @@ class IncrementalEvaluator:
 
     def run(self) -> None:
         """Process pending rules and unprocessed facts to a fixpoint."""
+        batched = self.compiled == "batched"
         iterations = 0
         while True:
             iterations += 1
@@ -138,7 +140,10 @@ class IncrementalEvaluator:
                 self._rules.append(rule)
                 for position, atom in enumerate(rule.body):
                     self._by_body[atom.key()].append((rule, position))
-                self._fire(rule, None, ())
+                if batched:
+                    self._fire_batched(rule, None, None)
+                else:
+                    self._fire(rule, None, ())
                 progressed = True
             # Only relations named in the change-log suffix can have new
             # facts: no full scan over the (large) relation space.
@@ -155,11 +160,53 @@ class IncrementalEvaluator:
                 new = list(facts[start:])
                 self._cursor[key] = len(facts)
                 progressed = True
-                for rule, position in self._by_body.get(key, ()):
-                    self._fire(rule, position, new)
+                if batched:
+                    # Transpose the key's new facts once; every rule with
+                    # a matching body atom joins the same columnar block.
+                    delta = Batch.from_rows(new)
+                    for rule, position in self._by_body.get(key, ()):
+                        self._fire_batched(rule, position, delta)
+                else:
+                    for rule, position in self._by_body.get(key, ()):
+                        self._fire(rule, position, new)
             if not progressed:
                 self._plan_stats.flush_into(self.counters)
                 return
+
+    def flush_stats(self) -> None:
+        """Flush pending plan counters into :attr:`counters` (idempotent).
+
+        :meth:`run` flushes at every fixpoint; the transports call this
+        at collection time so plan work done since the last successful
+        fixpoint (e.g. a run aborted by ``BudgetExceeded``) still lands
+        in the per-peer counters instead of dying with the worker.
+        """
+        self._plan_stats.flush_into(self.counters)
+
+    def _fire_batched(self, rule: Rule, delta_position: int | None,
+                      delta: Batch | None) -> None:
+        plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+        rows = fire_batched(plan, self.db, delta, stats=self._plan_stats)
+        if not rows:
+            return
+        self.counters.add("derivations", len(rows))
+        budget = self.budget
+        if budget.max_term_depth is not None:
+            kept: list[Fact] = []
+            prunes = 0
+            for args in rows:
+                if budget.prunes_fact(args):
+                    prunes += 1
+                else:
+                    kept.append(args)
+            if prunes:
+                self.counters.add("pruned_deep_facts", prunes)
+            rows = kept
+        added = self.db.add_batch(plan.head_key, rows).length
+        if added:
+            self.counters.add("facts_materialized", added)
+            if self.db.total_facts() > budget.max_facts:
+                raise BudgetExceeded("facts", budget.max_facts)
 
     def _fire(self, rule: Rule, delta_position: int | None,
               delta_facts: Sequence[Fact]) -> None:
@@ -209,11 +256,11 @@ class SemiNaiveEvaluator:
 
     def __init__(self, program: Program,
                  budget: EvaluationBudget | None = None,
-                 compiled: bool = True, check: bool = True) -> None:
+                 compiled: bool | str = True, check: bool = True) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
-        self.compiled = compiled
+        self.compiled = coerce_compiled(compiled)
         if check:
             from repro.datalog.analysis import check_program
             check_program(program, context="seminaive",
@@ -236,24 +283,88 @@ class SemiNaiveEvaluator:
             for position, atom in enumerate(rule.body):
                 rules_by_body[atom.key()].append((rule, position))
 
-        # Round 0: every rule fires against the initial database.
-        delta: dict[RelationKey, list[Fact]] = defaultdict(list)
-        for rule in rules:
-            self._fire(rule, db, None, (), delta)
+        if self.compiled == "batched":
+            iterations = self._run_batched(db, rules, rules_by_body)
+        else:
+            # Round 0: every rule fires against the initial database.
+            delta: dict[RelationKey, list[Fact]] = defaultdict(list)
+            for rule in rules:
+                self._fire(rule, db, None, (), delta)
 
+            iterations = 0
+            while delta:
+                iterations += 1
+                if iterations > self.budget.max_iterations:
+                    raise BudgetExceeded("iterations",
+                                         self.budget.max_iterations)
+                next_delta: dict[RelationKey, list[Fact]] = defaultdict(list)
+                for key, facts in delta.items():
+                    for rule, position in rules_by_body.get(key, ()):
+                        self._fire(rule, db, position, facts, next_delta)
+                delta = next_delta
+        self.counters.add("iterations", iterations)
+        self._plan_stats.flush_into(self.counters)
+        return db
+
+    def _run_batched(self, db: Database, rules: Sequence[Rule],
+                     rules_by_body: dict[RelationKey, list[tuple[Rule, int]]],
+                     ) -> int:
+        """The semi-naive round loop over columnar deltas.
+
+        Each round's delta is a per-relation :class:`Batch`;
+        ``Database.add_batch`` returns the genuinely new facts already
+        transposed, so the next round's delta needs no re-layout.
+        """
+        delta: dict[RelationKey, Batch] = {}
+        for rule in rules:
+            self._fire_batched(rule, db, None, None, delta)
         iterations = 0
         while delta:
             iterations += 1
             if iterations > self.budget.max_iterations:
                 raise BudgetExceeded("iterations", self.budget.max_iterations)
-            next_delta: dict[RelationKey, list[Fact]] = defaultdict(list)
-            for key, facts in delta.items():
+            next_delta: dict[RelationKey, Batch] = {}
+            for key, batch in delta.items():
                 for rule, position in rules_by_body.get(key, ()):
-                    self._fire(rule, db, position, facts, next_delta)
+                    self._fire_batched(rule, db, position, batch, next_delta)
             delta = next_delta
-        self.counters.add("iterations", iterations)
+        return iterations
+
+    def _fire_batched(self, rule: Rule, db: Database,
+                      delta_position: int | None, delta: Batch | None,
+                      out_delta: dict[RelationKey, Batch]) -> None:
+        plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+        rows = fire_batched(plan, db, delta, stats=self._plan_stats)
+        if not rows:
+            return
+        self.counters.add("derivations", len(rows))
+        budget = self.budget
+        if budget.max_term_depth is not None:
+            kept: list[Fact] = []
+            prunes = 0
+            for args in rows:
+                if budget.prunes_fact(args):
+                    prunes += 1
+                else:
+                    kept.append(args)
+            if prunes:
+                self.counters.add("pruned_deep_facts", prunes)
+            rows = kept
+        key = plan.head_key
+        fresh = db.add_batch(key, rows)
+        if fresh.length:
+            self.counters.add("facts_materialized", fresh.length)
+            if db.total_facts() > budget.max_facts:
+                raise BudgetExceeded("facts", budget.max_facts)
+            existing = out_delta.get(key)
+            if existing is None:
+                out_delta[key] = fresh
+            else:
+                existing.extend(fresh)
+
+    def flush_stats(self) -> None:
+        """Flush pending plan counters into :attr:`counters` (idempotent)."""
         self._plan_stats.flush_into(self.counters)
-        return db
 
     def answers(self, db: Database, query: Query) -> set[Fact]:
         """Evaluate and return the facts matching the query atom."""

@@ -97,7 +97,7 @@ class DatalogDiagnosisEngine:
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
                  use_termination_detector: bool = False,
-                 compiled: bool = True,
+                 compiled: bool | str = True,
                  transport: "str | TransportRuntime" = "sim",
                  mp_config: object = None) -> None:
         self.petri = petri
@@ -106,8 +106,9 @@ class DatalogDiagnosisEngine:
         self.budget = budget or EvaluationBudget(max_facts=2_000_000)
         self.options = options or NetworkOptions()
         self.use_termination_detector = use_termination_detector
-        #: False selects the reference interpreter (`iter_rule_bindings`)
-        #: instead of compiled join plans -- the old-vs-new benchmark knob
+        #: the evaluation tier: False = reference interpreter
+        #: (`iter_rule_bindings`), True = tuple-at-a-time compiled plans,
+        #: "batched" = columnar batch kernels -- the benchmark knob
         self.compiled = compiled
         #: transport substrate for the dqsq path ("sim", "mp", or a
         #: ready TransportRuntime); centralized modes evaluate locally

@@ -90,7 +90,7 @@ class _DqsqPeer:
     def __init__(self, name: str, rules: Sequence[Rule],
                  budget: EvaluationBudget,
                  detector: DijkstraScholten | None = None,
-                 compiled: bool = True) -> None:
+                 compiled: bool | str = True) -> None:
         self.name = name
         self.source_rules = Program(rules)
         self.db = Database()
@@ -194,9 +194,14 @@ class _DqsqPeer:
         if message.kind == KIND_FACTS:
             payload = message.payload
             key = (payload["relation"], payload["home"])
-            # Shipped tuples come out of a peer's validated store (and are
-            # re-interned on unpickling), so skip per-fact groundness checks.
-            added = self.db.add_all(key, payload["tuples"], assume_ground=True)
+            # Facts travel columnar (parallel term columns + count, the
+            # batch kernels' layout).  Shipped tuples come out of a peer's
+            # validated store (and are re-interned on unpickling), so the
+            # bulk insert skips per-fact groundness checks.
+            columns = payload["columns"]
+            rows: list[Fact] = (list(zip(*columns)) if columns
+                                else [()] * payload["count"])
+            added = self.db.add_batch(key, rows, arity=len(columns)).length
             self.counters.add("tuples_received", added)
             if key[1] != self.name:
                 # Replicas of remote-homed relations must not be pushed
@@ -396,9 +401,15 @@ class _DqsqPeer:
 
     def _send_facts(self, transport: Transport, recipient: str, key: RelationKey,
                     tuples: list[Fact]) -> None:
+        # Ship the delta columnar: k columns of n interned terms instead
+        # of n k-tuples (fewer containers to pickle on the mp transport,
+        # and the receiver's bulk insert applies it as one batch).  The
+        # explicit count keeps zero-arity deltas visible.
         self.counters.add("tuples_shipped", len(tuples))
+        columns = tuple(zip(*tuples)) if tuples and tuples[0] else ()
         self._send(transport, recipient, KIND_FACTS,
-                   {"relation": key[0], "home": key[1], "tuples": tuples})
+                   {"relation": key[0], "home": key[1],
+                    "columns": columns, "count": len(tuples)})
 
     def _send(self, transport: Transport, recipient: str, kind: str,
               payload: Any) -> None:
@@ -494,7 +505,7 @@ class DqsqResult:
 
 def _build_dqsq_peer(*, name: str, detector: DijkstraScholten | None,
                      rules: tuple[Rule, ...], budget: EvaluationBudget,
-                     compiled: bool,
+                     compiled: bool | str,
                      facts: dict[RelationKey, list[Fact]]) -> _DqsqPeer:
     """Module-level peer factory (picklable, so the multiprocessing
     transport can build the peer inside its worker process)."""
@@ -534,7 +545,7 @@ class DqsqEngine:
                  budget: EvaluationBudget | None = None,
                  options: NetworkOptions | None = None,
                  use_termination_detector: bool = False,
-                 compiled: bool = True, check: bool = True,
+                 compiled: bool | str = True, check: bool = True,
                  transport: str | TransportRuntime = "sim",
                  mp_config: Any = None) -> None:
         self.program = program

@@ -169,14 +169,27 @@ class TransportRuntime(Protocol):
 
 def snapshot_peer_counters(peer: Any) -> Counters:
     """The uniform peer-instrumentation contract: ``peer.counters``
-    merged with ``peer.evaluator.counters`` when either exists."""
+    merged with ``peer.evaluator.counters`` when either exists.
+
+    Evaluators exposing ``flush_stats`` are flushed first: per-plan
+    accumulators (``plan.*``) not yet folded into the counter bag --
+    e.g. work since the last fixpoint, or a run aborted mid-fire --
+    would otherwise be dropped, and on the ``mp`` transport lost for
+    good when the worker process exits.  Flushing at snapshot time is
+    what keeps ``plan.*`` totals equal between ``sim`` and ``mp`` runs
+    of the same schedule.
+    """
     out = Counters()
     counters = getattr(peer, "counters", None)
     if counters is not None:
         out.merge(counters)
     evaluator = getattr(peer, "evaluator", None)
-    if evaluator is not None and getattr(evaluator, "counters", None) is not None:
-        out.merge(evaluator.counters)
+    if evaluator is not None:
+        flush = getattr(evaluator, "flush_stats", None)
+        if flush is not None:
+            flush()
+        if getattr(evaluator, "counters", None) is not None:
+            out.merge(evaluator.counters)
     return out
 
 

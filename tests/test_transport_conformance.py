@@ -33,6 +33,7 @@ import repro
 from repro.datalog.database import Database
 from repro.datalog.naive import load_facts
 from repro.datalog.parser import parse_atom, parse_program
+from repro.datalog.plan import clear_plan_cache
 from repro.datalog.rule import Query
 from repro.diagnosis.alarms import AlarmSequence
 from repro.diagnosis.supervisor import SupervisorEncoder
@@ -146,6 +147,62 @@ def test_e9_recovery_matches_mp_fault_free(figure3_oracle):
     parallel = DqsqEngine(program, edb, transport="mp",
                           mp_config=MP).query(F3_QUERY)
     assert frozenset(parallel.answers) == figure3_oracle
+
+
+SINGLE_PEER_TEXT = """
+p@a(X, Y) :- e@a(X, Y).
+p@a(X, Z) :- e@a(X, Y), p@a(Y, Z).
+e@a("1", "2").
+e@a("2", "3").
+e@a("3", "4").
+e@a("4", "5").
+"""
+
+
+def test_plan_counters_match_sim_vs_mp():
+    """``plan.*`` totals agree between transports on a deterministic job.
+
+    On a single-peer job the local fixpoint schedule is identical on
+    both transports, so the per-plan accumulators -- flushed into the
+    outcome at snapshot time (see ``snapshot_peer_counters``) -- must
+    match *exactly*: a worker process exiting before its stats are
+    folded in would show up here as an mp deficit.  Multi-peer jobs
+    are only checked for presence (delta batching there is
+    schedule-dependent, so exact totals legitimately differ).
+    """
+    totals = {}
+    for transport in TRANSPORTS:
+        # plan.cache_evictions is excluded below: it measures pressure
+        # on the process-lifetime LRU, so it depends on what ran before
+        # (and a forked worker inherits the parent's already-warm
+        # cache); clearing first keeps the runs comparable regardless.
+        clear_plan_cache()
+        parsed = parse_program(SINGLE_PEER_TEXT)
+        program, edb = DDatalogProgram(parsed), load_facts(parsed)
+        result = DqsqEngine(program, edb, transport=transport,
+                            mp_config=MP).query(
+                                Query(parse_atom('p@a("1", Y)')))
+        assert result.answers
+        totals[transport] = {
+            name: value for name, value in result.counters.as_dict().items()
+            if name.startswith("plan.") and name != "plan.cache_evictions"}
+    assert totals["sim"] == totals["mp"]
+    assert totals["sim"]["plan.cache_misses"] > 0
+    assert totals["sim"]["plan.bindings_explored"] > 0
+
+
+@pytest.mark.parametrize("transport", TRANSPORTS)
+def test_plan_counters_present_per_peer(transport):
+    """Every dQSQ peer reports plan work on every transport (multi-peer:
+    presence, not exact totals -- see test_plan_counters_match_sim_vs_mp)."""
+    program, edb = _figure3()
+    result = DqsqEngine(program, edb, transport=transport,
+                        mp_config=MP).query(F3_QUERY)
+    merged = result.counters.as_dict()
+    assert merged.get("plan.cache_misses", 0) > 0
+    busy = [name for name, counters in result.per_peer.items()
+            if counters.as_dict().get("plan.bindings_explored", 0) > 0]
+    assert busy, "no peer reported any plan work"
 
 
 CHAIN_TEXT = """
