@@ -37,6 +37,7 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Any, Protocol, runtime_checkable
 
+from repro.datalog.cost import CostBudget
 from repro.datalog.seminaive import EvaluationBudget
 from repro.diagnosis.alarms import AlarmSequence
 from repro.diagnosis.bruteforce import bruteforce_diagnosis
@@ -105,6 +106,14 @@ class RunConfig:
     hidden: frozenset[str] = frozenset()
     hidden_budget: int = 0
     max_events: int = 50_000
+    #: admission control for the Datalog paths: before evaluation the
+    #: static cost analyzer (:mod:`repro.datalog.cost`) estimates the
+    #: run's fixpoint size and cross-peer message volume; an over-budget
+    #: estimate either raises :class:`~repro.errors.CostBudgetExceeded`
+    #: (``on_exceeded="refuse"``) or degrades the run to a depth-pruned
+    #: sound subset marked ``partial`` (``on_exceeded="degrade"``).
+    #: Ignored by the dedicated / bruteforce paths.
+    cost_budget: CostBudget | None = None
 
 
 @runtime_checkable
@@ -178,7 +187,8 @@ def diagnose(petri: PetriNet, alarms: AlarmSequence,
             options=config.options,
             use_termination_detector=config.use_termination_detector,
             compiled=config.compiled,
-            transport=config.transport, mp_config=config.mp)
+            transport=config.transport, mp_config=config.mp,
+            cost_budget=config.cost_budget)
         return engine.diagnose(alarms)
     if method is DiagnosisMethod.DEDICATED:
         hidden_depth = ((len(alarms) + config.hidden_budget)

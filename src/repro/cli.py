@@ -206,7 +206,86 @@ def _print_lint_report(label: str, report) -> bool:
     return bool(report.errors)
 
 
+def _lint_json(runs) -> str:
+    """The ``--format json`` payload: one run object per linted program."""
+    import json
+    payload = {"version": 1, "runs": []}
+    for label, report in runs:
+        payload["runs"].append({
+            "label": label,
+            "errors": len(report.errors),
+            "warnings": len(report.warnings),
+            "infos": len(report.infos),
+            "diagnostics": [{
+                "code": d.code,
+                "slug": d.slug,
+                "severity": d.severity,
+                "message": d.message,
+                "line": d.span[0] if d.span else None,
+                "column": d.span[1] if d.span else None,
+                "rule": str(d.rule) if d.rule is not None else None,
+                "suggestion": d.suggestion,
+            } for d in report.diagnostics],
+        })
+    return json.dumps(payload, indent=2)
+
+
+_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
+
+
+def _lint_sarif(runs) -> str:
+    """The ``--format sarif`` payload (SARIF 2.1.0, one run, all programs).
+
+    Each linted program becomes an artifact; findings carry their DD code
+    as ``ruleId`` so SARIF viewers (GitHub code scanning, editors) group
+    and document them via the embedded rule catalog.
+    """
+    import json
+    from repro.datalog.analysis import CODES
+    used = {d.code for _label, report in runs for d in report.diagnostics}
+    rules = [{
+        "id": code,
+        "name": CODES[code][0],
+        "defaultConfiguration": {
+            "level": _SARIF_LEVELS.get(CODES[code][1], "warning")},
+        "helpUri": "https://example.invalid/docs/datalog.md",
+    } for code in sorted(used) if code in CODES]
+    results = []
+    for label, report in runs:
+        for d in report.diagnostics:
+            result = {
+                "ruleId": d.code,
+                "level": _SARIF_LEVELS.get(d.severity, "warning"),
+                "message": {"text": d.message
+                            + (f" (fix: {d.suggestion})" if d.suggestion
+                               else "")},
+                "locations": [{
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": label},
+                        **({"region": {"startLine": d.span[0],
+                                       "startColumn": d.span[1]}}
+                           if d.span else {}),
+                    },
+                }],
+            }
+            results.append(result)
+    return json.dumps({
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {"name": "repro-lint",
+                                "informationUri":
+                                    "https://example.invalid/docs/datalog.md",
+                                "rules": rules}},
+            "results": results,
+        }],
+    }, indent=2)
+
+
 def cmd_lint(args) -> int:
+    """Exit codes: 0 = clean (warnings/infos allowed), 1 = at least one
+    ERROR-severity finding, 2 = usage or I/O error (via ReproError)."""
     from repro.datalog.analysis import analyze
     from repro.datalog.parser import parse_atom, parse_program
     from repro.datalog.rule import Query, Rule
@@ -216,7 +295,7 @@ def cmd_lint(args) -> int:
     query = Query(parse_atom(args.query)) if args.query else None
     known_peers = ([p.strip() for p in args.peers.split(",") if p.strip()]
                    if args.peers else None)
-    failed = False
+    runs = []
     for path in args.paths:
         try:
             with open(path) as handle:
@@ -226,8 +305,9 @@ def cmd_lint(args) -> int:
         spans: dict[Rule, tuple[int, int]] = {}
         program = parse_program(text, check=False, spans=spans)
         report = analyze(program, query, known_peers=known_peers,
-                         depth_bounded=args.depth_bounded, spans=spans)
-        failed |= _print_lint_report(path, report)
+                         depth_bounded=args.depth_bounded, spans=spans,
+                         cost=args.cost)
+        runs.append((path, report))
     if args.registered:
         from repro.datalog.analysis import index_spans
         from repro.experiments.registry import registered_programs
@@ -238,8 +318,19 @@ def cmd_lint(args) -> int:
             report = analyze(entry.program, entry.query,
                              known_peers=entry.known_peers,
                              depth_bounded=entry.depth_bounded,
-                             spans=index_spans(entry.program))
-            failed |= _print_lint_report(f"<registered:{name}>", report)
+                             spans=index_spans(entry.program),
+                             cost=args.cost)
+            runs.append((f"<registered:{name}>", report))
+    if args.format == "json":
+        print(_lint_json(runs))
+        failed = any(report.errors for _label, report in runs)
+    elif args.format == "sarif":
+        print(_lint_sarif(runs))
+        failed = any(report.errors for _label, report in runs)
+    else:
+        failed = False
+        for label, report in runs:
+            failed |= _print_lint_report(label, report)
     return 1 if failed else 0
 
 
@@ -359,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--peers", default="",
                       help="comma-separated deployment peers enabling "
                            "unknown-peer detection")
+    lint.add_argument("--format", choices=("text", "json", "sarif"),
+                      default="text",
+                      help="output format: human-readable text (default), "
+                           "a JSON summary, or SARIF 2.1.0 for CI/editors")
+    lint.add_argument("--cost", action="store_true",
+                      help="also run the DD801-DD805 cardinality/cost "
+                           "passes (EDB statistics from the program's own "
+                           "facts, symbolic n^k bounds otherwise)")
     lint.add_argument("--depth-bounded", action="store_true",
                       help="assume a Section-4.4 depth-bound gadget guards "
                            "evaluation (downgrades DD301 to info)")

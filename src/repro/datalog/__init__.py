@@ -23,6 +23,9 @@ from repro.datalog.plan import (JoinPlan, compile_join_plan, clear_plan_cache,
                                 plan_cache_size)
 from repro.datalog.analysis import (AnalysisReport, DependencyGraph, Diagnostic,
                                     analyze, check_program)
+from repro.datalog.cost import (Card, CostBudget, CostModel, CostReport,
+                                PlanAdvisor, analyze_cost, check_cost,
+                                estimate_rule, evaluate_cost_budget)
 from repro.datalog.stratified import StratifiedEvaluator, has_negation, stratify
 
 __all__ = [
@@ -39,5 +42,7 @@ __all__ = [
     "JoinPlan", "compile_join_plan", "clear_plan_cache", "plan_cache_size",
     "AnalysisReport", "DependencyGraph", "Diagnostic",
     "analyze", "check_program",
+    "Card", "CostBudget", "CostModel", "CostReport", "PlanAdvisor",
+    "analyze_cost", "check_cost", "estimate_rule", "evaluate_cost_budget",
     "StratifiedEvaluator", "has_negation", "stratify",
 ]

@@ -22,7 +22,10 @@ once into a :class:`JoinPlan`:
   step after which both sides are ground), as are the negated-atom
   checks and the head-tuple builders.
 
-Plans are cached per ``(rule, delta_position)``; :class:`PlanStats`
+Plans are cached per ``(rule, delta_position, order)`` -- ``order`` is
+``None`` for the greedy default and an explicit permutation when a
+:class:`~repro.datalog.cost.PlanAdvisor` picks the cost-based order
+instead; :class:`PlanStats`
 exposes index hit/miss and bindings-explored counts so the perf
 trajectory is measurable (``plan.*`` counters).
 
@@ -44,6 +47,7 @@ from repro.utils.counters import Counters
 
 if TYPE_CHECKING:
     from repro.datalog.batch import Kernel
+    from repro.datalog.cost import PlanAdvisor
 
 
 def coerce_compiled(value: bool | str) -> bool | str:
@@ -170,11 +174,13 @@ class PlanStats:
 
     __slots__ = ("bindings_explored", "index_hits", "index_misses",
                  "full_scans", "delta_scans", "cache_hits", "cache_misses",
-                 "cache_evictions", "_flushed")
+                 "cache_evictions", "advisor_rules", "advisor_reorders",
+                 "advisor_predicted_bindings", "_flushed")
 
     _FIELDS = ("bindings_explored", "index_hits", "index_misses",
                "full_scans", "delta_scans", "cache_hits", "cache_misses",
-               "cache_evictions")
+               "cache_evictions", "advisor_rules", "advisor_reorders",
+               "advisor_predicted_bindings")
 
     def __init__(self) -> None:
         self.bindings_explored = 0
@@ -185,6 +191,13 @@ class PlanStats:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        #: rules whose join order a PlanAdvisor chose (advisor_reorders of
+        #: them differing from the greedy default); advisor_predicted_bindings
+        #: accumulates the advisor's cost predictions so the benchmark gate
+        #: can compare them against the measured bindings_explored
+        self.advisor_rules = 0
+        self.advisor_reorders = 0
+        self.advisor_predicted_bindings = 0
         self._flushed: dict[str, int] = {}
 
     def flush_into(self, counters: Counters) -> None:
@@ -229,13 +242,26 @@ class JoinPlan:
                  "pre_checks", "negated", "head_key", "head_builders",
                  "batched_kernel")
 
-    def __init__(self, rule: Rule, delta_position: int | None = None) -> None:
+    def __init__(self, rule: Rule, delta_position: int | None = None,
+                 order: Sequence[int] | None = None) -> None:
         self.rule = rule
         self.delta_position = delta_position
         #: lazily generated columnar kernel (repro.datalog.batch); caching
         #: it here lets the shared plan cache amortize codegen too
         self.batched_kernel: Kernel | None = None
-        order = _order_body(rule, delta_position)
+        if order is None:
+            order = _order_body(rule, delta_position)
+        else:
+            order = list(order)
+            if sorted(order) != list(range(len(rule.body))):
+                raise ValueError(
+                    f"join order {order} is not a permutation of the "
+                    f"{len(rule.body)} body positions of {rule}")
+            if delta_position is not None and (
+                    not order or order[0] != delta_position):
+                raise ValueError(
+                    f"join order {order} must start with the delta "
+                    f"position {delta_position} (semi-naive soundness)")
         self.var_slots = _assign_slots(rule, order)
         self.nslots = len(self.var_slots)
         slot_of = self.var_slots
@@ -465,27 +491,31 @@ def _assign_slots(rule: Rule, order: Sequence[int]) -> dict[Var, int]:
 #: processes that keep generating fresh rewritten rules (every dQSQ
 #: diagnosis mints unique sup-relations) cannot grow it without bound,
 #: while hot plans (recursive rules fired every round) stay resident
-_PLAN_CACHE: OrderedDict[tuple[Rule, int | None], JoinPlan] = OrderedDict()
+_PLAN_CACHE: OrderedDict[tuple[Rule, int | None, tuple[int, ...] | None],
+                         JoinPlan] = OrderedDict()
 _PLAN_CACHE_MAX = 16384
 _PLAN_CACHE_EVICTIONS = 0
 
 
 def compile_join_plan(rule: Rule, delta_position: int | None = None,
                       counters: Counters | None = None,
-                      stats: PlanStats | None = None) -> JoinPlan:
+                      stats: PlanStats | None = None,
+                      order: tuple[int, ...] | None = None) -> JoinPlan:
     """The cached compiled plan for ``rule`` (optionally delta-restricted).
 
     Hits refresh the entry's LRU position; a miss that overflows the
     capacity evicts the least-recently-used plan (recorded under
     ``plan.cache_evictions``).  Eviction only ever costs recompilation:
-    plans are pure functions of ``(rule, delta_position)``, so answers
-    are unaffected (a regression-tested invariant).
+    plans are pure functions of ``(rule, delta_position, order)``, so
+    answers are unaffected (a regression-tested invariant).  ``order``,
+    when given (by a :class:`~repro.datalog.cost.PlanAdvisor`), overrides
+    the greedy most-bound-first body order.
     """
     global _PLAN_CACHE_EVICTIONS
-    key = (rule, delta_position)
+    key = (rule, delta_position, order)
     plan = _PLAN_CACHE.get(key)
     if plan is None:
-        plan = JoinPlan(rule, delta_position)
+        plan = JoinPlan(rule, delta_position, order)
         if len(_PLAN_CACHE) >= _PLAN_CACHE_MAX:
             _PLAN_CACHE.popitem(last=False)
             _PLAN_CACHE_EVICTIONS += 1
@@ -504,7 +534,8 @@ def compile_join_plan(rule: Rule, delta_position: int | None = None,
 
 
 def plan_for(cache: dict, stats: PlanStats, rule: Rule,
-             delta_position: int | None) -> JoinPlan:
+             delta_position: int | None,
+             advisor: "PlanAdvisor | None" = None) -> JoinPlan:
     """Two-level plan lookup for an evaluator's fire loop.
 
     ``cache`` is the evaluator's own dict keyed by ``(id(rule),
@@ -513,11 +544,27 @@ def plan_for(cache: dict, stats: PlanStats, rule: Rule,
     shared equality-keyed cache, so structurally equal rules from
     repeated rewritings still share one compilation.  The plan (which
     holds the rule strongly) pins the id for the cache's lifetime.
+
+    ``advisor`` (a :class:`~repro.datalog.cost.PlanAdvisor`) is consulted
+    once per evaluator-cache miss: its cost-based join order replaces the
+    greedy default, and its prediction lands in the ``advisor_*`` stats so
+    runs can audit predicted vs measured ``bindings_explored``.
     """
     key = (id(rule), delta_position)
     plan = cache.get(key)
     if plan is None:
-        plan = compile_join_plan(rule, delta_position, stats=stats)
+        order: tuple[int, ...] | None = None
+        if advisor is not None and len(rule.body) > 1:
+            choice = advisor.choice(rule, delta_position)
+            order = choice.order
+            stats.advisor_rules += 1
+            if choice.reordered:
+                stats.advisor_reorders += 1
+            predicted = choice.predicted.cost.count
+            if predicted != float("inf"):
+                stats.advisor_predicted_bindings += int(min(predicted, 2**53))
+        plan = compile_join_plan(rule, delta_position, stats=stats,
+                                 order=order)
         cache[key] = plan
         stats.cache_misses += 1
     else:

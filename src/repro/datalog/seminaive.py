@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 from repro.datalog.atom import Atom
 from repro.datalog.batch import Batch, fire_batched
@@ -29,6 +29,9 @@ from repro.datalog.rule import Program, Query, Rule
 from repro.datalog.term import Term, term_depth
 from repro.errors import BudgetExceeded
 from repro.utils.counters import Counters
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datalog.cost import PlanAdvisor
 
 
 @dataclass(frozen=True)
@@ -77,11 +80,15 @@ class IncrementalEvaluator:
     """
 
     def __init__(self, db: Database, budget: EvaluationBudget | None = None,
-                 compiled: bool | str = True) -> None:
+                 compiled: bool | str = True,
+                 advisor: "PlanAdvisor | None" = None) -> None:
         self.db = db
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
         self.compiled = coerce_compiled(compiled)
+        #: optional cost-based join-order advisor (repro.datalog.cost);
+        #: consulted once per (rule, delta) on plan-cache misses
+        self._advisor = advisor
         self._plan_stats = PlanStats()
         #: id-keyed plan map (see repro.datalog.plan.plan_for)
         self._plans: dict = {}
@@ -185,7 +192,8 @@ class IncrementalEvaluator:
 
     def _fire_batched(self, rule: Rule, delta_position: int | None,
                       delta: Batch | None) -> None:
-        plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+        plan = plan_for(self._plans, self._plan_stats, rule, delta_position,
+                        advisor=self._advisor)
         rows = fire_batched(plan, self.db, delta, stats=self._plan_stats)
         if not rows:
             return
@@ -211,7 +219,8 @@ class IncrementalEvaluator:
     def _fire(self, rule: Rule, delta_position: int | None,
               delta_facts: Sequence[Fact]) -> None:
         if self.compiled:
-            plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+            plan = plan_for(self._plans, self._plan_stats, rule, delta_position,
+                        advisor=self._advisor)
             derived_facts: list[Fact] = []
             derivations = 0
             prunes = 0
@@ -256,11 +265,14 @@ class SemiNaiveEvaluator:
 
     def __init__(self, program: Program,
                  budget: EvaluationBudget | None = None,
-                 compiled: bool | str = True, check: bool = True) -> None:
+                 compiled: bool | str = True, check: bool = True,
+                 advisor: "PlanAdvisor | None" = None) -> None:
         self.program = program
         self.budget = budget or EvaluationBudget()
         self.counters = Counters()
         self.compiled = coerce_compiled(compiled)
+        #: optional cost-based join-order advisor (repro.datalog.cost)
+        self._advisor = advisor
         if check:
             from repro.datalog.analysis import check_program
             check_program(program, context="seminaive",
@@ -333,7 +345,8 @@ class SemiNaiveEvaluator:
     def _fire_batched(self, rule: Rule, db: Database,
                       delta_position: int | None, delta: Batch | None,
                       out_delta: dict[RelationKey, Batch]) -> None:
-        plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+        plan = plan_for(self._plans, self._plan_stats, rule, delta_position,
+                        advisor=self._advisor)
         rows = fire_batched(plan, db, delta, stats=self._plan_stats)
         if not rows:
             return
@@ -380,7 +393,8 @@ class SemiNaiveEvaluator:
         # being iterated and make a single firing run away on recursive
         # rules with function symbols.
         if self.compiled:
-            plan = plan_for(self._plans, self._plan_stats, rule, delta_position)
+            plan = plan_for(self._plans, self._plan_stats, rule, delta_position,
+                        advisor=self._advisor)
             derived_facts: list[Fact] = []
             derivations = 0
             prunes = 0

@@ -36,10 +36,16 @@ from repro.diagnosis.supervisor import SUPERVISOR, SupervisorEncoder
 from repro.distributed.dqsq import DqsqEngine
 from repro.distributed.network import NetworkOptions
 from repro.distributed.transport import TransportRuntime
-from repro.errors import DiagnosisError
+from repro.errors import CostBudgetExceeded, DiagnosisError
 from repro.petri.net import PetriNet
 from repro.petri.occurrence import VIRTUAL_ROOT
 from repro.utils.counters import Counters
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.datalog.cost import CostBudget
+    from repro.datalog.rule import Program
 
 _EVENT_RELATIONS = (TRANS1, TRANS2)
 
@@ -99,11 +105,15 @@ class DatalogDiagnosisEngine:
                  use_termination_detector: bool = False,
                  compiled: bool | str = True,
                  transport: "str | TransportRuntime" = "sim",
-                 mp_config: object = None) -> None:
+                 mp_config: object = None,
+                 cost_budget: "CostBudget | None" = None) -> None:
         self.petri = petri
         self.mode = EvaluationMode.coerce(mode)
         self.supervisor = supervisor
         self.budget = budget or EvaluationBudget(max_facts=2_000_000)
+        #: optional static admission budget (repro.datalog.cost): checked
+        #: against the program's cost estimates before any evaluation
+        self.cost_budget = cost_budget
         self.options = options or NetworkOptions()
         self.use_termination_detector = use_termination_detector
         #: the evaluation tier: False = reference interpreter
@@ -115,6 +125,48 @@ class DatalogDiagnosisEngine:
         #: and ignore it
         self.transport = transport
         self.mp_config = mp_config
+
+    def _admit(self, program: "Program", alarms: AlarmSequence,
+               counters: Counters) -> tuple[EvaluationBudget, bool]:
+        """Admission control: static cost estimates vs ``cost_budget``.
+
+        Returns the evaluation budget to run under and whether the run
+        was degraded.  The estimate assumes the Theorem-4 depth: the
+        diagnosis only ever needs the unfolding prefix of depth
+        ``len(alarms)``, whose encoding terms nest to roughly twice that
+        (one ``f``-level per causal ancestor plus one ``conf``-level per
+        explained alarm) -- so the term universe is bounded by
+        ``2*len(alarms) + 2``, or by an explicitly tighter
+        ``budget.max_term_depth``.  On a breach,
+        ``on_exceeded="refuse"`` raises
+        :class:`~repro.errors.CostBudgetExceeded`; ``"degrade"`` clamps
+        the run to a depth-pruned budget, which yields a *sound subset*
+        of the diagnoses (marked ``partial``) instead of an over-budget
+        exact run.
+        """
+        from repro.datalog.cost import evaluate_cost_budget
+        assert self.cost_budget is not None
+        depth = self.budget.max_term_depth
+        if depth is None:
+            depth = 2 * max(1, len(alarms)) + 2
+        verdict = evaluate_cost_budget(program, self.cost_budget,
+                                       max_term_depth=depth)
+        counters.add("cost.admission_checks")
+        if verdict.ok:
+            return self.budget, False
+        if self.cost_budget.on_exceeded == "refuse":
+            counters.add("cost.refused_runs")
+            raise CostBudgetExceeded(
+                verdict.breaches, verdict.estimated_facts,
+                verdict.estimated_messages,
+                self.cost_budget.max_estimated_facts,
+                self.cost_budget.max_estimated_messages)
+        counters.add("cost.degraded_runs")
+        return EvaluationBudget(
+            max_iterations=self.budget.max_iterations,
+            max_facts=self.budget.max_facts,
+            max_term_depth=depth,
+            prune_depth=True), True
 
     def diagnose(self, alarms: AlarmSequence) -> DatalogDiagnosisResult:
         encoder = SupervisorEncoder(self.petri, alarms, self.supervisor)
@@ -132,10 +184,15 @@ class DatalogDiagnosisEngine:
             counters=counters)
 
         partial = False
+        budget = self.budget
+        if self.cost_budget is not None:
+            budget, degraded = self._admit(program.program, alarms, counters)
+            partial = partial or degraded
+
         transport_stats: dict[str, dict[str, int]] | None = None
         peer_report: dict[str, dict[str, int | bool]] | None = None
         if self.mode is EvaluationMode.DQSQ:
-            engine = DqsqEngine(program, budget=self.budget, options=self.options,
+            engine = DqsqEngine(program, budget=budget, options=self.options,
                                 use_termination_detector=self.use_termination_detector,
                                 compiled=self.compiled, check=False,
                                 transport=self.transport,
@@ -158,14 +215,14 @@ class DatalogDiagnosisEngine:
                                      query_atom.args, None))
             if self.mode is EvaluationMode.QSQ:
                 qsq = qsq_evaluate(local, local_query, Database(),
-                                   budget=self.budget, compiled=self.compiled,
+                                   budget=budget, compiled=self.compiled,
                                    check=False)
                 counters.merge(qsq.counters)
                 answers = qsq.answers
                 events, conditions = _collect_nodes_from_adorned([qsq.database])
             else:
                 db = Database()
-                evaluator = SemiNaiveEvaluator(local, self.budget,
+                evaluator = SemiNaiveEvaluator(local, budget,
                                                compiled=self.compiled,
                                                check=False)
                 evaluator.run(db)

@@ -21,7 +21,8 @@ from typing import TYPE_CHECKING, Iterable
 from repro.datalog.analysis import Diagnostic, make_diagnostic
 
 if TYPE_CHECKING:  # pragma: no cover
-    from repro.datalog.rule import Program
+    from repro.datalog.cost import Card, CostModel, CostThresholds, RuleEstimate
+    from repro.datalog.rule import Program, Rule
 
 
 def check_locality(program: "Program",
@@ -80,4 +81,96 @@ def check_locality(program: "Program",
                 suggestion="define the complement positively (as the paper "
                            "does for notCausal/notConf) or evaluate the "
                            "stratified program locally"))
+    return out
+
+
+def _rule_traffic(rule: "Rule", model: "CostModel") \
+        -> tuple[dict[tuple[str, str], "Card"], "Card", "RuleEstimate"]:
+    """Estimated cross-peer tuple flow of one fully-located rule.
+
+    Follows the dQSQ delegation walk: the rule is evaluated at the peer
+    of its head, the body is consumed in *written* order, and at the
+    first atom located elsewhere the partial bindings accumulated so far
+    are shipped to that atom's peer (and so on down the remainder).
+    Answers hop back to the head peer at the end.  The per-step binding
+    cardinalities come from :func:`repro.datalog.cost.estimate_rule`
+    evaluated under the same written order.
+    """
+    from repro.datalog.cost import ZERO, estimate_rule
+    estimate = estimate_rule(rule, model,
+                             order=tuple(range(len(rule.body))))
+    pairs: dict[tuple[str, str], "Card"] = {}
+    shipped = ZERO
+    site = rule.head.peer
+    for step in estimate.steps:
+        atom = rule.body[step.position]
+        if atom.peer is not None and atom.peer != site and site is not None:
+            hop = (site, atom.peer)
+            pairs[hop] = pairs.get(hop, ZERO).plus(step.inputs)
+            shipped = shipped.plus(step.inputs)
+            site = atom.peer
+    if site is not None and rule.head.peer is not None \
+            and site != rule.head.peer:
+        hop = (site, rule.head.peer)
+        pairs[hop] = pairs.get(hop, ZERO).plus(estimate.bindings)
+        shipped = shipped.plus(estimate.bindings)
+    return pairs, shipped, estimate
+
+
+def estimate_peer_traffic(program: "Program", model: "CostModel") \
+        -> tuple[dict[tuple[str, str], "Card"],
+                 list[tuple["Rule", "Card", "RuleEstimate"]]]:
+    """Estimated cross-peer shipped tuples, per (sender, recipient) pair.
+
+    Returns the aggregated traffic matrix plus the per-rule breakdown
+    ``(rule, shipped, estimate)``.  Only fully-located rules route
+    traffic (mixed rules are DD401 errors; unlocated rules run locally).
+    """
+    traffic: dict[tuple[str, str], "Card"] = {}
+    per_rule: list[tuple["Rule", "Card", "RuleEstimate"]] = []
+    from repro.datalog.cost import ZERO
+    for rule in program.proper_rules():
+        if rule.head.peer is None:
+            continue
+        if any(atom.peer is None for atom in rule.body):
+            continue
+        pairs, shipped, estimate = _rule_traffic(rule, model)
+        for hop, card in pairs.items():
+            traffic[hop] = traffic.get(hop, ZERO).plus(card)
+        per_rule.append((rule, shipped, estimate))
+    return traffic, per_rule
+
+
+def check_broadcast(program: "Program", model: "CostModel",
+                    thresholds: "CostThresholds") -> list[Diagnostic]:
+    """DD803: a located rule shipping far more tuples than it answers.
+
+    Fires when a rule's estimated cross-peer shipment is unbounded, or
+    exceeds both the absolute floor (``broadcast_min``) and
+    ``broadcast_ratio`` times the rule's estimated answers — the
+    signature of delegating an unselective prefix instead of joining
+    locally first.
+    """
+    out: list[Diagnostic] = []
+    _traffic, per_rule = estimate_peer_traffic(program, model)
+    for rule, shipped, estimate in per_rule:
+        answers = estimate.output
+        if not shipped.unbounded:
+            if shipped.count < thresholds.broadcast_min:
+                continue
+            if shipped.count < thresholds.broadcast_ratio \
+                    * max(1.0, answers.count):
+                continue
+        volume = ("unbounded" if shipped.unbounded
+                  else f"~{shipped.count:.3g}")
+        out.append(make_diagnostic(
+            "DD803",
+            f"located rule ships an estimated {volume} tuples across "
+            f"peers for ~{answers.count:.3g} answer(s): the dQSQ "
+            f"remainder delegates most of the work's volume over the "
+            f"wire",
+            rule=rule,
+            suggestion="reorder the body so selective same-peer atoms "
+                       "come first (the remainder then ships fewer "
+                       "bindings), or co-locate the joined relations"))
     return out

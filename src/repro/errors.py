@@ -76,6 +76,39 @@ class BudgetExceeded(ReproError):
         self.limit = limit
 
 
+class CostBudgetExceeded(ReproError):
+    """Raised when a static cost estimate exceeds an admission budget.
+
+    Unlike :class:`BudgetExceeded` (a *runtime* limit hit mid-run), this
+    fires *before* evaluation starts: the cost analyzer
+    (:mod:`repro.datalog.cost`) predicted the run would exceed the
+    :class:`~repro.datalog.cost.CostBudget` attached to the
+    :class:`~repro.api.RunConfig`, and ``on_exceeded="refuse"`` asked for
+    rejection over degradation.  Carries the structured estimates so an
+    admission controller can log, re-budget, or route the session.
+    """
+
+    def __init__(self, breaches: tuple[str, ...], estimated_facts: float,
+                 estimated_messages: float,
+                 max_estimated_facts: float | None,
+                 max_estimated_messages: float | None):
+        parts = []
+        if "facts" in breaches:
+            parts.append(f"estimated facts {estimated_facts:.3g} > "
+                         f"budget {max_estimated_facts:.3g}")
+        if "messages" in breaches:
+            parts.append(f"estimated cross-peer messages "
+                         f"{estimated_messages:.3g} > "
+                         f"budget {max_estimated_messages:.3g}")
+        super().__init__("cost budget exceeded before evaluation: "
+                         + "; ".join(parts))
+        self.breaches = tuple(breaches)
+        self.estimated_facts = estimated_facts
+        self.estimated_messages = estimated_messages
+        self.max_estimated_facts = max_estimated_facts
+        self.max_estimated_messages = max_estimated_messages
+
+
 class PetriNetError(ReproError):
     """Base class for Petri-net-layer errors."""
 

@@ -136,3 +136,88 @@ class TestLintRegisteredSpans:
         out = capsys.readouterr().out
         for code in ("DD701", "DD702", "DD703"):
             assert code in out
+
+
+class TestLintFormats:
+    def test_json_output_round_trips(self, tmp_path, capsys):
+        import json
+        path = write_program(tmp_path, 'p(X, Y) :- q(X).\nq("a").\n')
+        assert main(["lint", path, "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["version"] == 1
+        (run,) = payload["runs"]
+        assert run["label"] == path
+        assert run["errors"] >= 1
+        codes = {d["code"] for d in run["diagnostics"]}
+        assert "DD101" in codes
+        dd101 = next(d for d in run["diagnostics"] if d["code"] == "DD101")
+        assert dd101["severity"] == "error"
+        assert dd101["line"] == 1 and dd101["column"] == 1
+        assert dd101["slug"] == "unsafe-variable"
+
+    def test_sarif_output_is_valid_sarif(self, tmp_path, capsys):
+        import json
+        path = write_program(tmp_path, 'p(X, Y) :- q(X).\nq("a").\n')
+        assert main(["lint", path, "--format", "sarif"]) == 1
+        sarif = json.loads(capsys.readouterr().out)
+        assert sarif["version"] == "2.1.0"
+        (run,) = sarif["runs"]
+        assert run["tool"]["driver"]["name"] == "repro-lint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        result_ids = {r["ruleId"] for r in run["results"]}
+        assert result_ids <= rule_ids
+        dd101 = next(r for r in run["results"] if r["ruleId"] == "DD101")
+        assert dd101["level"] == "error"
+        region = dd101["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] == 1
+
+    def test_sarif_info_maps_to_note_level(self, tmp_path, capsys):
+        import json
+        path = write_program(tmp_path, """
+            r(f(X)) :- q(X).
+            s(f(X, X)) :- q(X).
+            q("a").
+        """)
+        main(["lint", path, "--format", "sarif"])
+        sarif = json.loads(capsys.readouterr().out)
+        dd104 = [r for r in sarif["runs"][0]["results"]
+                 if r["ruleId"] == "DD104"]
+        assert dd104 and dd104[0]["level"] == "note"
+
+    def test_json_covers_registered_programs(self, capsys):
+        import json
+        assert main(["lint", "--registered", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        labels = {run["label"] for run in payload["runs"]}
+        assert any(label.startswith("<registered:") for label in labels)
+
+
+class TestLintCost:
+    def test_cost_flag_emits_dd8xx_with_spans(self, capsys):
+        assert main(["lint", str(EXAMPLES / "costly.dl"),
+                     "--cost", "--query", "audit(X, Y)"]) == 0
+        out = capsys.readouterr().out
+        for code in ("DD801", "DD802", "DD803", "DD804", "DD805"):
+            assert code in out, code
+        import re
+        spanned = re.findall(r"costly\.dl:\d+:\d+: DD8\d\d", out)
+        assert len(spanned) >= 5
+
+    def test_cost_flag_off_by_default(self, capsys):
+        assert main(["lint", str(EXAMPLES / "costly.dl"),
+                     "--query", "audit(X, Y)"]) == 0
+        assert "DD80" not in capsys.readouterr().out
+
+    def test_cost_findings_serialize_to_json(self, capsys):
+        import json
+        assert main(["lint", str(EXAMPLES / "costly.dl"), "--cost",
+                     "--query", "audit(X, Y)", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (run,) = payload["runs"]
+        codes = {d["code"] for d in run["diagnostics"]}
+        assert codes >= {"DD801", "DD802", "DD803", "DD804", "DD805"}
+
+    def test_transitive_closure_example_reports_dd802(self, capsys):
+        assert main(["lint", str(EXAMPLES / "transitive_closure.dl"),
+                     "--cost"]) == 0
+        assert "DD802" in capsys.readouterr().out

@@ -1,0 +1,79 @@
+"""Analyzer non-regression on magic-rewritten programs.
+
+The Magic Sets rewriting introduces ``magic-*`` demand relations and
+adorned copies of every reachable rule.  None of that machinery should
+trip the reachability pass (DD501) or the plan passes (DD601/DD602):
+every generated rule is reachable from the rewritten query by
+construction, and the magic guards *add* bound positions, never remove
+them.  These tests pin that invariant so analyzer or rewriter changes
+cannot silently regress it.
+"""
+
+from repro.datalog import Query, parse_atom, parse_program
+from repro.datalog.analysis import analyze
+from repro.datalog.magic import magic_rewrite
+
+FIGURE3 = """
+r(X, Y) :- a(X, Y).
+r(X, Y) :- s(X, Z), t(Z, Y).
+s(X, Y) :- r(X, Y), b(Y, Z).
+t(X, Y) :- c(X, Y).
+a("1", "2").
+a("2", "3").
+b("2", "x").
+b("3", "x").
+c("2", "4").
+c("3", "5").
+c("4", "6").
+"""
+
+TC = """
+path(X, Y) :- edge(X, Y).
+path(X, Z) :- edge(X, Y), path(Y, Z).
+edge("a", "b").
+edge("b", "c").
+"""
+
+
+def rewrite(text, query_text):
+    program = parse_program(text)
+    rewriting = magic_rewrite(program, Query(parse_atom(query_text)))
+    return program, rewriting
+
+
+def codes(report):
+    return [d.code for d in report.diagnostics]
+
+
+class TestMagicReachability:
+    def test_no_dd501_on_rewritten_figure3(self):
+        _original, rewriting = rewrite(FIGURE3, 'r("1", Y)')
+        report = analyze(rewriting.program, Query(rewriting.answer_atom))
+        assert "DD501" not in codes(report)
+
+    def test_no_dd501_on_rewritten_tc(self):
+        for query_text in ('path("a", Y)', "path(X, Y)"):
+            _original, rewriting = rewrite(TC, query_text)
+            report = analyze(rewriting.program, Query(rewriting.answer_atom))
+            assert "DD501" not in codes(report), query_text
+
+
+class TestMagicPlanWarnings:
+    def test_rewriting_introduces_no_new_plan_warnings(self):
+        original, rewriting = rewrite(FIGURE3, 'r("1", Y)')
+        before = {c for c in codes(analyze(original))
+                  if c in ("DD601", "DD602")}
+        after = {c for c in codes(analyze(rewriting.program))
+                 if c in ("DD601", "DD602")}
+        assert after <= before
+
+    def test_clean_tc_stays_clean_after_rewriting(self):
+        _original, rewriting = rewrite(TC, 'path("a", Y)')
+        report = analyze(rewriting.program, Query(rewriting.answer_atom))
+        assert not [c for c in codes(report) if c in ("DD601", "DD602")]
+
+    def test_rewritten_program_has_no_errors_at_all(self):
+        for text, query_text in ((FIGURE3, 'r("1", Y)'), (TC, 'path("a", Y)')):
+            _original, rewriting = rewrite(text, query_text)
+            report = analyze(rewriting.program, Query(rewriting.answer_atom))
+            assert report.errors == (), query_text
