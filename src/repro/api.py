@@ -1,8 +1,9 @@
 """The one-call diagnosis API.
 
 Every solver path of the library -- the paper's dQSQ, centralized QSQ,
-the bottom-up strawman, the dedicated algorithm of [8] and the
-brute-force ground truth -- is reachable through a single front door::
+the bottom-up strawman, the dedicated algorithm of [8], the Section-4.3
+online supervisor and the brute-force ground truth -- is reachable
+through a single front door::
 
     import repro
     result = repro.diagnose(petri, alarms, method="dqsq")
@@ -53,13 +54,20 @@ from repro.utils.counters import Counters
 
 
 class DiagnosisMethod(str, enum.Enum):
-    """The five solver paths reachable through :func:`diagnose`."""
+    """The six solver paths reachable through :func:`diagnose`.
+
+    ``"online"`` is the Section-4.3 incremental supervisor
+    (:class:`repro.diagnosis.online.OnlineDiagnoser`) run to the end of
+    the sequence -- the same engine the streaming service
+    (:mod:`repro.service`) feeds alarm-by-alarm.
+    """
 
     DQSQ = "dqsq"
     QSQ = "qsq"
     BOTTOMUP = "bottomup"
     DEDICATED = "dedicated"
     BRUTEFORCE = "bruteforce"
+    ONLINE = "online"
 
     @classmethod
     def coerce(cls, value: "DiagnosisMethod | str") -> "DiagnosisMethod":
@@ -114,6 +122,12 @@ class RunConfig:
     #: sound subset marked ``partial`` (``on_exceeded="degrade"``).
     #: Ignored by the dedicated / bruteforce paths.
     cost_budget: CostBudget | None = None
+    #: prefix-index window of the ``"online"`` method (and the default
+    #: for service sessions): bound the materialized table to vectors
+    #: within this lag of every stream head; ``None`` = exact/unbounded.
+    #: A lossy compaction marks the result ``partial=True`` -- see
+    #: :mod:`repro.diagnosis.online`.
+    window: int | None = None
 
 
 @runtime_checkable
@@ -190,6 +204,9 @@ def diagnose(petri: PetriNet, alarms: AlarmSequence,
             transport=config.transport, mp_config=config.mp,
             cost_budget=config.cost_budget)
         return engine.diagnose(alarms)
+    if method is DiagnosisMethod.ONLINE:
+        from repro.diagnosis.online import online_diagnosis_result
+        return online_diagnosis_result(petri, alarms, window=config.window)
     if method is DiagnosisMethod.DEDICATED:
         hidden_depth = ((len(alarms) + config.hidden_budget)
                         if config.hidden else None)

@@ -11,6 +11,8 @@ Usage::
     python -m repro lint examples/figure3.dl --registered    # static analysis
     python -m repro chaos --schedules 30 --max-deliveries 500
     python -m repro diagnose --scenario figure1-bac --crash p1@2 --restart-after 6
+    python -m repro serve --port 8750 --snapshot-dir /tmp/repro-sessions
+    python -m repro serve --self-check --schedules 10      # chaos the server
 """
 
 from __future__ import annotations
@@ -380,6 +382,54 @@ def cmd_chaos(args) -> int:
     return 0 if report.ok() else 1
 
 
+def cmd_serve(args) -> int:
+    from repro.service import (DiagnosisService, ServiceChaosConfig,
+                               ServiceConfig, SessionConfig,
+                               run_service_chaos)
+
+    if args.self_check:
+        config = ServiceChaosConfig(schedules=args.schedules, seed=args.seed,
+                                    sessions=args.sessions)
+        report = run_service_chaos(config)
+        print(report.render())
+        return 0 if report.ok() else 1
+
+    from repro.service import DirectorySnapshotStore, serve_tcp
+
+    try:
+        service_config = ServiceConfig(
+            session=SessionConfig(window=args.window,
+                                  checkpoint_interval=args.checkpoint_interval),
+            max_resident=args.max_resident,
+            session_queue_limit=args.session_queue_limit,
+            global_queue_limit=args.global_queue_limit,
+            on_overload=args.on_overload)
+    except ValueError as err:
+        raise ReproError(str(err)) from err
+    store = (DirectorySnapshotStore(args.snapshot_dir)
+             if args.snapshot_dir else None)
+    service = DiagnosisService(service_config, store=store)
+
+    import asyncio
+
+    async def _serve() -> None:
+        server = await serve_tcp(service, host=args.host, port=args.port)
+        host, port = server.sockets[0].getsockname()[:2]
+        print(f"repro diagnosis service on {host}:{port} "
+              f"(newline-delimited JSON; overload policy: "
+              f"{service_config.on_overload}; "
+              f"snapshots: {args.snapshot_dir or 'in-memory'})",
+              flush=True)
+        async with server:
+            await server.serve_forever()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("shutting down")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -506,6 +556,48 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--verbose", action="store_true",
                        help="print one line per schedule")
     chaos.set_defaults(func=cmd_chaos)
+
+    serve = sub.add_parser(
+        "serve", help="run the streaming multi-tenant diagnosis server "
+                      "(asyncio TCP, newline-delimited JSON; sessions "
+                      "survive restarts via the snapshot store)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8750,
+                       help="bind port (0 = ephemeral)")
+    serve.add_argument("--snapshot-dir", default="",
+                       help="directory for session snapshots (sessions then "
+                            "survive real process restarts); empty = "
+                            "in-memory store")
+    serve.add_argument("--window", type=int, default=8,
+                       help="per-session prefix-index window bounding "
+                            "memory; lossy compaction marks answers partial")
+    serve.add_argument("--checkpoint-interval", type=int, default=1,
+                       help="snapshot a session every k-th alarm (1 = every "
+                            "alarm: a kill loses nothing acknowledged)")
+    serve.add_argument("--max-resident", type=int, default=1024,
+                       help="sessions kept in memory before LRU eviction "
+                            "to the snapshot store")
+    serve.add_argument("--session-queue-limit", type=int, default=16,
+                       help="pending-alarm watermark per session")
+    serve.add_argument("--global-queue-limit", type=int, default=1024,
+                       help="pending-alarm watermark service-wide")
+    serve.add_argument("--on-overload", default="shed",
+                       choices=("shed", "degrade"),
+                       help="over-watermark policy: 'shed' refuses with a "
+                            "structured overloaded error, 'degrade' admits "
+                            "with a tightened window and partial answers")
+    serve.add_argument("--self-check", action="store_true",
+                       help="run the seeded service chaos campaign instead "
+                            "of serving (CI mode): disconnects, session "
+                            "crashes, flaky snapshot store, kill/restart")
+    serve.add_argument("--schedules", type=int, default=10,
+                       help="self-check: number of seeded schedules")
+    serve.add_argument("--sessions", type=int, default=6,
+                       help="self-check: concurrent sessions per schedule")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="self-check: campaign seed")
+    serve.set_defaults(func=cmd_serve)
     return parser
 
 

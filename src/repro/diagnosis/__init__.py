@@ -28,7 +28,8 @@ from repro.diagnosis.engine import (DatalogDiagnosisEngine,
 from repro.diagnosis.patterns import AlarmPattern, PatternObserverBuilder
 from repro.diagnosis.report import (decode_event, diagnosis_to_dot,
                                     render_diagnosis_report)
-from repro.diagnosis.online import OnlineDiagnoser, online_diagnosis
+from repro.diagnosis.online import (OnlineDiagnoser, OnlineResult,
+                                    online_diagnosis, online_diagnosis_result)
 from repro.diagnosis.problem import explains_strict
 
 __all__ = [
@@ -41,5 +42,6 @@ __all__ = [
     "DatalogDiagnosisEngine", "DatalogDiagnosisResult", "EvaluationMode",
     "AlarmPattern", "PatternObserverBuilder",
     "decode_event", "diagnosis_to_dot", "render_diagnosis_report",
-    "OnlineDiagnoser", "online_diagnosis", "explains_strict",
+    "OnlineDiagnoser", "OnlineResult", "online_diagnosis",
+    "online_diagnosis_result", "explains_strict",
 ]

@@ -23,6 +23,23 @@ Invariants (tested):
   alarms received so far;
 * the shared branching process only grows (the paper's incrementality);
 * its event set equals the dedicated algorithm's materialized prefix.
+
+Two service-facing capabilities extend the original regime:
+
+* **windowing/compaction** -- with ``window=H`` the prefix-index table
+  only retains vectors whose every component lies within ``H`` of the
+  corresponding stream head.  The table is then bounded by
+  ``(H+1)^peers`` vectors regardless of stream length, at the price of
+  soundness-only answers when a cross-peer race outlasts the window:
+  compaction can *lose* explanations, never invent them, and
+  :attr:`window_lossy` reports honestly whether a non-empty vector was
+  ever dropped.  While it stays ``False`` the compacted diagnoses are
+  *exactly* the unwindowed ones (the compaction oracle test pins this).
+* **checkpoint/restore** -- :meth:`checkpoint` returns a serializable
+  snapshot of the whole supervisor state (the PR-4 idiom from the dQSQ
+  peer: callers pickle it, isolating the bytes from later mutation);
+  :meth:`restore` rebuilds the diagnoser from one, after which resumed
+  diagnoses equal the batch diagnosis of the full alarm sequence.
 """
 
 from __future__ import annotations
@@ -31,6 +48,7 @@ from dataclasses import dataclass
 
 from repro.diagnosis.alarms import Alarm, AlarmSequence
 from repro.diagnosis.problem import DiagnosisSet, diagnosis_set
+from repro.errors import UnknownAlarmError
 from repro.petri.net import PetriNet
 from repro.petri.occurrence import BranchingProcess
 from repro.utils.counters import Counters
@@ -59,29 +77,60 @@ def _decrement(vector: IndexVector, peer: str) -> IndexVector:
 
 
 class OnlineDiagnoser:
-    """Incremental supervisor: feed alarms with :meth:`push`."""
+    """Incremental supervisor: feed alarms with :meth:`push`.
 
-    def __init__(self, petri: PetriNet) -> None:
+    ``window`` bounds the prefix-index table (see the module docstring);
+    ``None`` keeps the exact, unbounded regime.
+    """
+
+    def __init__(self, petri: PetriNet, *, window: int | None = None) -> None:
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {window}")
         self.petri = petri
+        self.window = window
         self.bp = BranchingProcess(petri)
         self.counters = Counters()
+        self._window_lossy = False
         roots = [self.bp.add_root(place) for place in sorted(petri.marking)]
         initial = _State(events=frozenset(),
                          cut=frozenset(c.cid for c in roots))
         self._table: dict[IndexVector, set[_State]] = {(): {initial}}
         self._streams: dict[str, list[str]] = {}
         self._received: list[Alarm] = []
+        self._symbols_of_peer: dict[str, frozenset[str]] = {
+            peer: frozenset(petri.net.alarm[t]
+                            for t in petri.net.transitions_of_peer(peer))
+            for peer in petri.net.peers()}
 
     # -- the supervisor loop -------------------------------------------------------
+
+    def _validate(self, alarm: Alarm) -> None:
+        """Boundary validation: reject malformed input *before* it can
+        corrupt the stream state or surface as a bare ``KeyError`` from
+        deep inside :meth:`_extensions`.  A well-formed alarm the model
+        cannot explain is *not* an error -- that is what
+        :meth:`is_consistent` reports."""
+        symbols = self._symbols_of_peer.get(alarm.peer)
+        if symbols is None:
+            raise UnknownAlarmError(
+                alarm, f"peer {alarm.peer!r} is not a peer of the model "
+                       f"(known: {', '.join(sorted(self._symbols_of_peer))})")
+        if alarm.symbol not in symbols:
+            raise UnknownAlarmError(
+                alarm, f"peer {alarm.peer!r} never emits symbol "
+                       f"{alarm.symbol!r} (its alphabet: "
+                       f"{', '.join(sorted(symbols)) or '<empty>'})")
 
     def push(self, alarm: Alarm | tuple[str, str]) -> int:
         """Process one alarm; returns the surviving candidate count.
 
         Extends the prefix-index table by the slab of vectors whose
-        ``alarm.peer`` component equals the new subsequence length.
+        ``alarm.peer`` component equals the new subsequence length, then
+        compacts vectors that fell out of the window (if one is set).
         """
         if not isinstance(alarm, Alarm):
             alarm = Alarm(*alarm)
+        self._validate(alarm)
         self._received.append(alarm)
         self.counters.add("alarms_processed")
         stream = self._streams.setdefault(alarm.peer, [])
@@ -96,6 +145,7 @@ class OnlineDiagnoser:
                 for state in previous:
                     states.update(self._extensions(state, peer, symbol))
             self._table[vector] = states
+        self._compact()
         self.counters.set_max("peak_table_vectors", len(self._table))
         return self.candidate_count()
 
@@ -104,18 +154,71 @@ class OnlineDiagnoser:
             self.push(alarm)
         return self.candidate_count()
 
+    def _floor(self, peer: str) -> int:
+        """The lowest in-window component for ``peer`` (0 = unbounded)."""
+        if self.window is None:
+            return 0
+        return max(0, len(self._streams.get(peer, ())) - self.window)
+
     def _slab(self, peer: str, new_count: int) -> list[IndexVector]:
         """All index vectors with ``peer -> new_count`` and other peers'
-        components at most their current lengths, by ascending weight."""
+        components at most their current lengths (at least their window
+        floors), by ascending weight."""
         others = [(q, length) for q, stream in sorted(self._streams.items())
                   if q != peer for length in [len(stream)]]
         vectors: list[dict[str, int]] = [{peer: new_count}]
         for q, length in others:
             vectors = [dict(v, **{q: c}) for v in vectors
-                       for c in range(length + 1)]
+                       for c in range(self._floor(q), length + 1)]
         out = [_vector(v) for v in vectors]
         out.sort(key=lambda vec: sum(count for _p, count in vec))
         return out
+
+    def _compact(self) -> None:
+        """Drop table vectors with any component below its window floor.
+
+        Soundness: a dropped vector can only be *read* (through
+        :meth:`_slab` / ``_decrement``) by vectors that are themselves
+        below the floor, so compaction loses explanations that would
+        have needed an out-of-window race to reach the target -- it
+        never fabricates any.  Dropping a non-empty vector sets
+        :attr:`window_lossy`; while that stays ``False`` every future
+        diagnosis is bit-identical to the unwindowed run's.
+        """
+        if self.window is None:
+            return
+        floors = {peer: self._floor(peer) for peer in self._streams}
+        dead = []
+        for vector in self._table:
+            counts = dict(vector)
+            for peer, floor in floors.items():
+                if floor > 0 and counts.get(peer, 0) < floor:
+                    dead.append(vector)
+                    break
+        for vector in dead:
+            states = self._table.pop(vector)
+            self.counters.add("window_vectors_compacted")
+            if states:
+                self._window_lossy = True
+                self.counters.add("window_states_dropped", len(states))
+
+    def set_window(self, window: int | None) -> None:
+        """Re-bound the table (the service's degrade path tightens it).
+
+        Tightening compacts immediately; loosening only affects future
+        compaction -- vectors already dropped stay dropped, which is why
+        :attr:`window_lossy` is never reset.
+        """
+        if window is not None and window < 1:
+            raise ValueError(f"window must be >= 1 or None, got {window}")
+        self.window = window
+        self._compact()
+
+    @property
+    def window_lossy(self) -> bool:
+        """True once compaction has dropped a non-empty vector: from then
+        on :meth:`diagnoses` is a sound subset rather than exact."""
+        return self._window_lossy
 
     def _extensions(self, state: _State, peer: str, symbol: str) -> list[_State]:
         """Extend ``state`` by one event of ``peer`` emitting ``symbol``."""
@@ -155,6 +258,82 @@ class OnlineDiagnoser:
             chosen = [prefix + (cid,) for prefix in chosen for cid in candidates]
         return chosen
 
+    # -- checkpoint / restore ------------------------------------------------------
+
+    def checkpoint(self) -> dict:
+        """A serializable snapshot of the whole supervisor state.
+
+        Taken between pushes, so the table is at a slab boundary and
+        internally consistent by construction.  The net itself is static
+        configuration and not included -- restore into a diagnoser built
+        over the same :class:`PetriNet`.  Mutable containers are copied;
+        the entries (frozen dataclasses, strings, tuples) are immutable
+        and safely shared.  Callers that persist snapshots should pickle
+        them immediately (the PR-4 isolation idiom): the pickled bytes
+        cannot be mutated by pushes that happen after the checkpoint.
+        """
+        bp = self.bp
+        return {
+            "version": 1,
+            "window": self.window,
+            "window_lossy": self._window_lossy,
+            "received": [(a.symbol, a.peer) for a in self._received],
+            "streams": {peer: list(s) for peer, s in self._streams.items()},
+            "table": {vec: set(states) for vec, states in self._table.items()},
+            "counters": self.counters.as_dict(),
+            "bp": {
+                "conditions": dict(bp.conditions),
+                "events": dict(bp.events),
+                "postset": dict(bp.postset),
+                "consumers": {cid: list(e) for cid, e in bp.consumers.items()},
+                "roots": list(bp.roots),
+                "events_by_key": dict(bp._events_by_key),
+                "conditions_by_place": {place: list(c) for place, c
+                                        in bp._conditions_by_place.items()},
+            },
+        }
+
+    def restore(self, snapshot: dict | None) -> None:
+        """Replace this diagnoser's state with ``snapshot`` (``None`` =
+        reset to the post-construction state).
+
+        Unlike the dQSQ peer's restore (which replays a message log),
+        the snapshot here is the complete materialized state: no replay
+        is needed, and resumed diagnoses equal the batch diagnosis of
+        the full alarm sequence.  Counters are restored from the
+        snapshot so per-session statistics stay consistent across
+        rehydration; the restore itself is counted on top.
+        """
+        restores = self.counters["restores"]
+        if snapshot is None:
+            self.__init__(self.petri, window=self.window)
+            self.counters.add("restores", restores + 1)
+            return
+        self.window = snapshot["window"]
+        self._window_lossy = snapshot["window_lossy"]
+        self._received = [Alarm(symbol, peer)
+                          for symbol, peer in snapshot["received"]]
+        self._streams = {peer: list(s)
+                         for peer, s in snapshot["streams"].items()}
+        self._table = {vec: set(states)
+                       for vec, states in snapshot["table"].items()}
+        bp = BranchingProcess(self.petri)
+        frozen = snapshot["bp"]
+        bp.conditions = dict(frozen["conditions"])
+        bp.events = dict(frozen["events"])
+        bp.postset = dict(frozen["postset"])
+        bp.consumers = {cid: list(e) for cid, e in frozen["consumers"].items()}
+        bp.roots = list(frozen["roots"])
+        bp._events_by_key = dict(frozen["events_by_key"])
+        bp._conditions_by_place = {place: list(c) for place, c
+                                   in frozen["conditions_by_place"].items()}
+        self.bp = bp
+        counters = Counters()
+        for name, value in snapshot["counters"].items():
+            counters.add(name, value)
+        self.counters = counters
+        self.counters.add("restores")
+
     # -- results ----------------------------------------------------------------------
 
     def _target(self) -> IndexVector:
@@ -167,6 +346,11 @@ class OnlineDiagnoser:
 
     def received(self) -> AlarmSequence:
         return AlarmSequence(self._received)
+
+    @property
+    def received_count(self) -> int:
+        """Number of alarms consumed so far (the session sequence number)."""
+        return len(self._received)
 
     def is_consistent(self) -> bool:
         """False once the received stream has no explanation."""
@@ -181,8 +365,48 @@ class OnlineDiagnoser:
         return frozenset(self.bp.events)
 
 
-def online_diagnosis(petri: PetriNet, alarms: AlarmSequence) -> DiagnosisSet:
+@dataclass(frozen=True)
+class OnlineResult:
+    """:class:`repro.api.DiagnosisOutcome` wrapper over one online run.
+
+    ``partial`` is the window-compaction lossiness verdict: ``True``
+    means the configured window dropped live partial explanations, so
+    the diagnosis set is a sound subset of the exact one.
+    """
+
+    diagnoses: DiagnosisSet
+    counters: Counters
+    materialized_events: frozenset[str]
+    materialized_conditions: frozenset[str]
+    window_lossy: bool
+
+    @property
+    def partial(self) -> bool:
+        return self.window_lossy
+
+    @property
+    def peer_report(self) -> dict[str, dict[str, int | bool]] | None:
+        """In-process: there are no peers to fail."""
+        return None
+
+
+def online_diagnosis(petri: PetriNet, alarms: AlarmSequence,
+                     window: int | None = None) -> DiagnosisSet:
     """Batch convenience wrapper over the online supervisor."""
-    diagnoser = OnlineDiagnoser(petri)
+    diagnoser = OnlineDiagnoser(petri, window=window)
     diagnoser.push_all(alarms)
     return diagnoser.diagnoses()
+
+
+def online_diagnosis_result(petri: PetriNet, alarms: AlarmSequence,
+                            window: int | None = None) -> OnlineResult:
+    """The :func:`repro.diagnose` entry point for ``method="online"``."""
+    diagnoser = OnlineDiagnoser(petri, window=window)
+    diagnoser.push_all(alarms)
+    return OnlineResult(
+        diagnoses=diagnoser.diagnoses(),
+        counters=diagnoser.counters,
+        materialized_events=diagnoser.materialized_events(),
+        materialized_conditions=frozenset(diagnoser.bp.conditions),
+        window_lossy=diagnoser.window_lossy,
+    )

@@ -100,10 +100,15 @@ class MpConfig:
     #: warns about.  Off by default; the simulator is the right place
     #: for order-sensitive programs.
     allow_nonconfluent: bool = False
+    #: how long shutdown waits for a terminated worker to exit before
+    #: escalating to ``kill()`` (SIGKILL)
+    shutdown_grace: float = 5.0
 
     def __post_init__(self) -> None:
         if self.timeout <= 0:
             raise ValueError("timeout must be > 0")
+        if self.shutdown_grace < 0:
+            raise ValueError("shutdown_grace must be >= 0")
         if self.start_method not in (None, "fork", "spawn", "forkserver"):
             raise ValueError(f"unknown start method {self.start_method!r}")
 
@@ -250,14 +255,8 @@ class MpTransportRuntime:
             snapshots = self._collect(names, inboxes, coordinator,
                                       processes, deadline)
         finally:
-            for process in processes.values():
-                if process.is_alive():
-                    process.terminate()
-            for process in processes.values():
-                process.join(timeout=5.0)
-            for q in (*inboxes.values(), coordinator):
-                q.close()
-                q.cancel_join_thread()
+            self._shutdown(processes, (*inboxes.values(), coordinator),
+                           counters)
 
         databases: dict[str, Database] = {}
         per_peer: dict[str, Counters] = {}
@@ -278,6 +277,47 @@ class MpTransportRuntime:
         return TransportOutcome(
             databases=databases, per_peer=per_peer, counters=counters,
             deliveries=deliveries, terminated_by_detector=terminated)
+
+    def _shutdown(self, processes: dict[str, Any], queues: tuple[Any, ...],
+                  counters: Counters) -> None:
+        """Tear the worker fleet down without leaving orphans.
+
+        Runs on *every* exit path (success, timeout, worker error,
+        ``KeyboardInterrupt``), so it must cope with workers in any
+        state -- including blocked mid-``put`` on a queue whose feeder
+        thread can deadlock the child's interpreter at exit.  Order
+        matters:
+
+        1. terminate whatever is still alive;
+        2. drain every queue (``get_nowait`` until empty) -- this
+           unblocks feeder threads on both sides so children can
+           actually exit;
+        3. join with a bounded timeout;
+        4. anything *still* alive gets ``kill()`` (SIGKILL) and a final
+           join -- a stuck child must not outlive the run;
+        5. close the queues and cancel their join threads so the
+           coordinator process itself cannot hang at interpreter exit.
+        """
+        for process in processes.values():
+            if process.is_alive():
+                process.terminate()
+        for q in queues:
+            while True:
+                try:
+                    q.get_nowait()
+                except (queue_module.Empty, OSError, ValueError):
+                    break
+        grace = self.config.shutdown_grace
+        for process in processes.values():
+            process.join(timeout=grace)
+        for process in processes.values():
+            if process.is_alive():
+                counters.add("mp.workers_killed")
+                process.kill()
+                process.join(timeout=max(grace, 5.0))
+        for q in queues:
+            q.close()
+            q.cancel_join_thread()
 
     # -- coordinator protocol ------------------------------------------------
 

@@ -48,6 +48,24 @@ class ValidationError(DatalogError):
     """
 
 
+class UnknownAlarmError(ValidationError):
+    """Raised when an alarm fed to the online supervisor names a peer the
+    model does not contain, or a symbol that peer can never emit.
+
+    Validated at the :meth:`repro.diagnosis.online.OnlineDiagnoser.push`
+    boundary: malformed *input* must be distinguishable from a
+    well-formed stream that is merely inconsistent with the model (the
+    latter is a legitimate diagnosis outcome, the former a caller bug or
+    a corrupt client payload).  Carries the offending alarm so servers
+    can attach it to a structured error response.
+    """
+
+    def __init__(self, alarm: object, reason: str):
+        super().__init__(f"invalid alarm {alarm}: {reason}")
+        self.alarm = alarm
+        self.reason = reason
+
+
 class ProgramAnalysisError(ValidationError):
     """Raised when static analysis finds errors in a program.
 
@@ -176,6 +194,45 @@ class PeerUnavailable(DistributedError):
         super().__init__(reason or f"peers permanently unavailable: {names}")
         self.peers = peers
         self.report = report
+
+
+class ServiceError(ReproError):
+    """Base class for errors of the long-lived diagnosis service
+    (:mod:`repro.service`)."""
+
+
+class ServiceOverloaded(ServiceError):
+    """Raised (or returned as a structured refusal) when admission
+    control sheds an alarm instead of queueing it unboundedly.
+
+    Mirrors the :class:`CostBudgetExceeded` refuse/degrade split at the
+    serving layer: a session whose bounded queue is full -- or a server
+    above its global high watermark -- either refuses the alarm with
+    this error (``on_overload="shed"``) or degrades the session to a
+    tighter compaction window and answers ``partial=True``
+    (``on_overload="degrade"``).  Carries the queue depths so clients
+    can implement informed backoff.
+    """
+
+    def __init__(self, session_id: str, queued: int, limit: int,
+                 scope: str = "session"):
+        super().__init__(
+            f"service overloaded: {scope} queue at {queued}/{limit} "
+            f"for session {session_id!r}; retry after backoff")
+        self.session_id = session_id
+        self.queued = queued
+        self.limit = limit
+        self.scope = scope
+
+
+class SnapshotStoreError(ServiceError):
+    """Raised when a session snapshot store fails a read or write.
+
+    The service retries writes with exponential backoff
+    (``service.snapshot_retries``); a write that stays failed leaves the
+    session resident and is surfaced through
+    ``service.snapshot_failures`` rather than crashing the session.
+    """
 
 
 class DiagnosisError(ReproError):

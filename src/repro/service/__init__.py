@@ -1,0 +1,54 @@
+"""Supervisor-as-a-service: a streaming, multi-tenant diagnosis server.
+
+The paper's supervisor is inherently online (Section 4.3's incremental
+regime), but everything below this package runs inside one synchronous
+call stack.  ``repro.service`` is the serving layer for the ROADMAP's
+millions-of-users north star: a long-lived asyncio server multiplexing
+thousands of concurrent diagnosis *sessions*, each wrapping an
+:class:`~repro.diagnosis.online.OnlineDiagnoser` fed alarm-by-alarm --
+the shape of Ameloot-Neven-Van den Bussche's relational transducers: a
+declarative engine consuming an unbounded input stream while emitting
+monotone outputs.
+
+Robustness is the headline; every stress path bends instead of breaking:
+
+* **session lifecycle + persistence** -- idle sessions are evicted to a
+  pluggable :class:`~repro.service.store.SnapshotStore` (pickle-isolated
+  snapshots, the PR-4 idiom) and transparently rehydrated on the next
+  alarm; a full server kill/restart loses no session;
+* **backpressure + load-shedding** -- bounded per-session and global
+  alarm queues with watermark admission: an over-budget alarm gets a
+  structured ``overloaded`` refusal (:class:`repro.errors.ServiceOverloaded`
+  semantics) or a degraded tighter-window answer marked ``partial``,
+  never an unbounded queue;
+* **windowing/compaction** -- sessions bound their materialized
+  prefix-index table via :class:`OnlineDiagnoser`'s window, with the
+  lossiness verdict propagated honestly into every response;
+* **fault injection** -- :class:`~repro.service.chaos.ServiceFaultPlan`
+  drives seeded snapshot-store failures, client disconnects, slow
+  clients, injected session crashes and server kill/restarts through
+  the same oracle-checked harness idiom as ``repro.distributed.chaos``.
+
+Entry points: ``repro serve`` (CLI), :func:`~repro.service.server.serve_tcp`
+(asyncio streams, newline-delimited JSON -- no web-framework dependency)
+and :class:`~repro.service.server.DiagnosisService` for in-process use.
+"""
+
+from repro.service.chaos import (ServiceChaosConfig, ServiceChaosReport,
+                                 ServiceFaultPlan, make_service_plan,
+                                 run_service_chaos)
+from repro.service.protocol import decode_line, encode_response
+from repro.service.server import DiagnosisService, ServiceConfig, serve_tcp
+from repro.service.session import DiagnosisSession, SessionConfig
+from repro.service.store import (DirectorySnapshotStore, FlakySnapshotStore,
+                                 MemorySnapshotStore, SnapshotStore)
+
+__all__ = [
+    "DiagnosisService", "ServiceConfig", "serve_tcp",
+    "DiagnosisSession", "SessionConfig",
+    "SnapshotStore", "MemorySnapshotStore", "DirectorySnapshotStore",
+    "FlakySnapshotStore",
+    "ServiceFaultPlan", "ServiceChaosConfig", "ServiceChaosReport",
+    "make_service_plan", "run_service_chaos",
+    "decode_line", "encode_response",
+]

@@ -1,0 +1,99 @@
+"""The service wire protocol: newline-delimited JSON, stdlib only.
+
+One request per line, one response per line, in order.  Keeping the
+framing this small is deliberate: the serving layer must not drag in a
+web framework (the target containers are offline), and JSON-lines over
+an asyncio stream is exactly enough structure for a multiplexing load
+driver, a CI smoke job and a human with ``nc``.
+
+Requests are JSON objects with an ``op`` field:
+
+``{"op": "open", "session": S, "scenario": NAME}``
+    Create (or resume) session ``S`` over a named workload scenario
+    (see :mod:`repro.workloads.scenarios`).  Opening an existing
+    session is *resume*: the response carries the session's current
+    ``seq`` so a reconnecting client knows where to continue.
+
+``{"op": "alarm", "session": S, "symbol": A, "peer": P, "seq": N}``
+    Feed one alarm.  ``seq`` (1-based, per session) makes ingestion
+    idempotent under client retries and server rehydration: a duplicate
+    (``seq <=`` current) is acknowledged without re-applying, a gap
+    (``seq >`` current+1) is refused with the expected value so the
+    client can replay the missing suffix.  Omitting ``seq`` assigns the
+    next value.
+
+``{"op": "diagnoses", "session": S}``
+    The session's current diagnosis set (sorted, JSON-friendly).
+
+``{"op": "stats"}`` / ``{"op": "ping"}`` / ``{"op": "close", "session": S}``
+    Introspection, liveness, and session termination (drops the
+    snapshot too -- closing is the one destructive operation).
+
+Responses always carry ``"ok"``.  Refusals are *structured*, never
+connection resets: ``{"ok": false, "error": CODE, ...}`` with machine
+error codes (``overloaded``, ``gap``, ``unknown-session``,
+``unknown-alarm``, ``bad-request``, ``service-full``, ``internal``).
+Degradation is explicit: any answer that may be less than exact carries
+``"partial": true``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.errors import ServiceError
+
+#: machine error codes a response may carry in its ``error`` field
+ERROR_CODES = ("bad-request", "unknown-session", "unknown-alarm", "gap",
+               "overloaded", "service-full", "snapshot-failed", "internal")
+
+#: request operations the server understands
+OPS = ("open", "alarm", "diagnoses", "stats", "ping", "close")
+
+
+def decode_line(line: bytes | str) -> dict[str, Any]:
+    """Parse one request line; raise :class:`ServiceError` when malformed.
+
+    The server turns the raised error into a structured ``bad-request``
+    response -- a garbage line must never kill the connection handler.
+    """
+    try:
+        payload = json.loads(line)
+    except (json.JSONDecodeError, UnicodeDecodeError) as err:
+        raise ServiceError(f"request is not valid JSON: {err}") from err
+    if not isinstance(payload, dict):
+        raise ServiceError(
+            f"request must be a JSON object, got {type(payload).__name__}")
+    op = payload.get("op")
+    if op not in OPS:
+        raise ServiceError(
+            f"unknown op {op!r}; known: {', '.join(OPS)}")
+    return payload
+
+
+def encode_response(response: dict[str, Any]) -> bytes:
+    """One response, newline-framed, compact separators."""
+    return json.dumps(response, separators=(",", ":"),
+                      sort_keys=True).encode() + b"\n"
+
+
+def ok(**fields: Any) -> dict[str, Any]:
+    """A success response."""
+    return {"ok": True, **fields}
+
+
+def error(code: str, message: str, **fields: Any) -> dict[str, Any]:
+    """A structured refusal.  ``code`` must be a registered error code."""
+    assert code in ERROR_CODES, f"unregistered error code {code!r}"
+    return {"ok": False, "error": code, "message": message, **fields}
+
+
+def require_str(request: dict[str, Any], field: str) -> str:
+    """Extract a required string field or raise a bad-request error."""
+    value = request.get(field)
+    if not isinstance(value, str) or not value:
+        raise ServiceError(
+            f"op {request.get('op')!r} requires a non-empty string "
+            f"{field!r} field")
+    return value

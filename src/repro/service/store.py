@@ -1,0 +1,192 @@
+"""Session snapshot stores: where evicted and checkpointed sessions live.
+
+A store maps session ids to opaque snapshot bytes (the session layer
+pickles before handing bytes down, so stored state is isolated from
+later mutation -- the PR-4 checkpoint idiom).  Three implementations:
+
+* :class:`MemorySnapshotStore` -- a dict; survives server *object*
+  replacement within one process (the kill/restart tests share one),
+  not process death;
+* :class:`DirectorySnapshotStore` -- one file per session with
+  atomic-rename writes; survives real process restarts;
+* :class:`FlakySnapshotStore` -- a seeded fault-injection wrapper that
+  makes any store fail probabilistically, for the chaos harness.
+
+Store failures raise :class:`repro.errors.SnapshotStoreError`; the
+service retries writes with exponential backoff and *keeps the session
+resident* when a write stays failed -- a broken store degrades
+durability, never correctness.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Protocol, runtime_checkable
+
+from repro.errors import SnapshotStoreError
+
+
+@runtime_checkable
+class SnapshotStore(Protocol):
+    """The persistence contract of the serving layer."""
+
+    def save(self, session_id: str, snapshot: bytes) -> None:
+        """Durably store ``snapshot`` under ``session_id`` (overwrite)."""
+        ...  # pragma: no cover - protocol
+
+    def load(self, session_id: str) -> bytes | None:
+        """The latest snapshot, or ``None`` when the session is unknown."""
+        ...  # pragma: no cover - protocol
+
+    def delete(self, session_id: str) -> None:
+        """Forget the session (idempotent)."""
+        ...  # pragma: no cover - protocol
+
+    def list_sessions(self) -> list[str]:
+        """All stored session ids (the restart-rehydration inventory)."""
+        ...  # pragma: no cover - protocol
+
+
+class MemorySnapshotStore:
+    """Dict-backed store; the default for tests and in-process servers."""
+
+    def __init__(self) -> None:
+        self._snapshots: dict[str, bytes] = {}
+
+    def save(self, session_id: str, snapshot: bytes) -> None:
+        self._snapshots[session_id] = snapshot
+
+    def load(self, session_id: str) -> bytes | None:
+        return self._snapshots.get(session_id)
+
+    def delete(self, session_id: str) -> None:
+        self._snapshots.pop(session_id, None)
+
+    def list_sessions(self) -> list[str]:
+        return sorted(self._snapshots)
+
+
+def _quote(session_id: str) -> str:
+    """Filesystem-safe encoding of a session id (reversible)."""
+    return "".join(c if c.isalnum() or c in "-_" else f"%{ord(c):02x}"
+                   for c in session_id)
+
+
+def _unquote(name: str) -> str:
+    out: list[str] = []
+    i = 0
+    while i < len(name):
+        if name[i] == "%" and i + 2 < len(name):
+            out.append(chr(int(name[i + 1:i + 3], 16)))
+            i += 3
+        else:
+            out.append(name[i])
+            i += 1
+    return "".join(out)
+
+
+class DirectorySnapshotStore:
+    """One ``<id>.snapshot`` file per session, written atomically.
+
+    Writes go to a temporary sibling and are renamed into place, so a
+    crash mid-write leaves the previous snapshot intact -- a session
+    rehydrates either fully pre- or fully post-checkpoint, never from a
+    torn file.
+    """
+
+    SUFFIX = ".snapshot"
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+
+    def _path(self, session_id: str) -> str:
+        return os.path.join(self.directory, _quote(session_id) + self.SUFFIX)
+
+    def save(self, session_id: str, snapshot: bytes) -> None:
+        path = self._path(session_id)
+        tmp = path + ".tmp"
+        try:
+            with open(tmp, "wb") as handle:
+                handle.write(snapshot)
+            os.replace(tmp, path)
+        except OSError as err:
+            raise SnapshotStoreError(
+                f"cannot write snapshot for session {session_id!r}: "
+                f"{err}") from err
+
+    def load(self, session_id: str) -> bytes | None:
+        try:
+            with open(self._path(session_id), "rb") as handle:
+                return handle.read()
+        except FileNotFoundError:
+            return None
+        except OSError as err:
+            raise SnapshotStoreError(
+                f"cannot read snapshot for session {session_id!r}: "
+                f"{err}") from err
+
+    def delete(self, session_id: str) -> None:
+        try:
+            os.remove(self._path(session_id))
+        except FileNotFoundError:
+            pass
+        except OSError as err:
+            raise SnapshotStoreError(
+                f"cannot delete snapshot for session {session_id!r}: "
+                f"{err}") from err
+
+    def list_sessions(self) -> list[str]:
+        try:
+            names = os.listdir(self.directory)
+        except OSError as err:
+            raise SnapshotStoreError(
+                f"cannot list snapshot directory {self.directory!r}: "
+                f"{err}") from err
+        return sorted(_unquote(n[:-len(self.SUFFIX)])
+                      for n in names if n.endswith(self.SUFFIX))
+
+
+class FlakySnapshotStore:
+    """Seeded fault-injection wrapper: any store, made unreliable.
+
+    Draws come from a dedicated :class:`random.Random`, so a chaos
+    campaign replays exactly from its seed.  Failures surface as
+    :class:`SnapshotStoreError` -- precisely what the service's
+    retry/backoff path is built to absorb.
+    """
+
+    def __init__(self, inner: SnapshotStore, seed: int = 0,
+                 write_failure_probability: float = 0.0,
+                 load_failure_probability: float = 0.0) -> None:
+        if not 0.0 <= write_failure_probability <= 1.0:
+            raise ValueError("write_failure_probability must be in [0, 1]")
+        if not 0.0 <= load_failure_probability <= 1.0:
+            raise ValueError("load_failure_probability must be in [0, 1]")
+        self.inner = inner
+        self.write_failure_probability = write_failure_probability
+        self.load_failure_probability = load_failure_probability
+        self._rng = random.Random(seed)
+        self.injected_write_failures = 0
+        self.injected_load_failures = 0
+
+    def save(self, session_id: str, snapshot: bytes) -> None:
+        if self._rng.random() < self.write_failure_probability:
+            self.injected_write_failures += 1
+            raise SnapshotStoreError(
+                f"injected write failure for session {session_id!r}")
+        self.inner.save(session_id, snapshot)
+
+    def load(self, session_id: str) -> bytes | None:
+        if self._rng.random() < self.load_failure_probability:
+            self.injected_load_failures += 1
+            raise SnapshotStoreError(
+                f"injected load failure for session {session_id!r}")
+        return self.inner.load(session_id)
+
+    def delete(self, session_id: str) -> None:
+        self.inner.delete(session_id)
+
+    def list_sessions(self) -> list[str]:
+        return self.inner.list_sessions()

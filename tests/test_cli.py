@@ -99,3 +99,35 @@ class TestCommands:
         assert main(["experiments", "E1"]) == 0
         out = capsys.readouterr().out
         assert "E1" in out
+
+
+class TestHelpSnapshot:
+    #: every subcommand the CLI promises; --help must list them all
+    SUBCOMMANDS = ("list-scenarios", "diagnose", "render", "experiments",
+                   "lint", "race", "chaos", "serve")
+
+    def test_top_level_help_lists_every_subcommand(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for name in self.SUBCOMMANDS:
+            assert name in out, f"--help does not mention {name!r}"
+
+    def test_serve_help_documents_robustness_knobs(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["serve", "--help"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        for flag in ("--snapshot-dir", "--on-overload",
+                     "--session-queue-limit", "--self-check"):
+            assert flag in out, f"serve --help does not mention {flag!r}"
+
+
+class TestServeSelfCheck:
+    def test_self_check_passes(self, capsys):
+        code = main(["serve", "--self-check", "--schedules", "2",
+                     "--sessions", "3", "--seed", "11"])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "invariants held" in out

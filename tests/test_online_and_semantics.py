@@ -155,3 +155,174 @@ class TestDefinitionVsAlgorithms:
         for config in bruteforce_diagnosis(petri, alarms).diagnoses:
             assert explains_strict(bp, config, alarms)
             assert explains(bp, config, alarms)
+
+
+class TestOnlineValidation:
+    """Satellite (a): boundary validation instead of bare KeyError."""
+
+    def test_unknown_peer_raises_structured_error(self):
+        from repro.errors import UnknownAlarmError, ValidationError
+
+        online = OnlineDiagnoser(figure1_net())
+        with pytest.raises(UnknownAlarmError, match="not a peer") as info:
+            online.push(("b", "nosuchpeer"))
+        assert isinstance(info.value, ValidationError)
+        assert info.value.alarm.peer == "nosuchpeer"
+
+    def test_unknown_symbol_raises_structured_error(self):
+        from repro.errors import UnknownAlarmError
+
+        online = OnlineDiagnoser(figure1_net())
+        with pytest.raises(UnknownAlarmError, match="never emits") as info:
+            online.push(("zzz", "p1"))
+        assert info.value.alarm.symbol == "zzz"
+
+    def test_rejected_alarm_leaves_state_untouched(self):
+        from repro.errors import UnknownAlarmError
+
+        online = OnlineDiagnoser(figure1_net())
+        online.push(("b", "p1"))
+        with pytest.raises(UnknownAlarmError):
+            online.push(("zzz", "p1"))
+        assert online.received_count == 1
+        assert online.is_consistent()
+
+    def test_inconsistent_but_well_formed_is_not_an_error(self):
+        # malformed input raises; a model-inconsistent stream does not
+        online = OnlineDiagnoser(figure1_net())
+        online.push(("c", "p1"))
+        online.push(("b", "p1"))  # impossible order, yet well-formed
+        assert not online.is_consistent()
+
+
+class TestOnlineCheckpointRestore:
+    """Satellite (c): pickle round-trip mid-stream, resume == batch."""
+
+    def test_resume_equals_batch(self):
+        import pickle
+
+        petri = figure1_net()
+        alarms = list(AlarmSequence(figure1_alarm_scenarios()["bac"]))
+        online = OnlineDiagnoser(petri)
+        online.push(alarms[0])
+        online.push(alarms[1])
+        frozen = pickle.dumps(online.checkpoint())
+
+        resumed = OnlineDiagnoser(petri)
+        resumed.restore(pickle.loads(frozen))
+        assert resumed.received_count == 2
+        resumed.push(alarms[2])
+        batch = bruteforce_diagnosis(petri, AlarmSequence(alarms)).diagnoses
+        assert resumed.diagnoses() == batch
+        assert resumed.counters["restores"] == 1
+
+    def test_snapshot_is_isolated_from_later_pushes(self):
+        import pickle
+
+        petri = figure1_net()
+        alarms = list(AlarmSequence(figure1_alarm_scenarios()["bac"]))
+        online = OnlineDiagnoser(petri)
+        online.push(alarms[0])
+        frozen = pickle.dumps(online.checkpoint())
+        online.push(alarms[1])  # mutate after the checkpoint
+        online.push(alarms[2])
+
+        resumed = OnlineDiagnoser(petri)
+        resumed.restore(pickle.loads(frozen))
+        assert resumed.received_count == 1
+        prefix = bruteforce_diagnosis(
+            petri, AlarmSequence(alarms[:1])).diagnoses
+        assert resumed.diagnoses() == prefix
+
+    def test_restore_none_resets(self):
+        online = OnlineDiagnoser(figure1_net())
+        online.push(("b", "p1"))
+        online.restore(None)
+        assert online.received_count == 0
+        assert online.counters["restores"] == 1
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_round_trip_on_random_nets(self, seed):
+        import pickle
+
+        petri = random_safe_net(seed, branching=0.5)
+        alarms = list(simulate_alarms(petri, steps=4, seed=seed))
+        online = OnlineDiagnoser(petri)
+        for alarm in alarms[:2]:
+            online.push(alarm)
+        frozen = pickle.dumps(online.checkpoint())
+        resumed = OnlineDiagnoser(petri)
+        resumed.restore(pickle.loads(frozen))
+        for alarm in alarms[2:]:
+            resumed.push(alarm)
+        assert (resumed.diagnoses()
+                == bruteforce_diagnosis(petri,
+                                        AlarmSequence(alarms)).diagnoses)
+
+
+class TestWindowCompaction:
+    """Tentpole layer 3: windowing bounds the table, soundly."""
+
+    def test_not_lossy_means_bit_identical(self):
+        # the compaction oracle: while window_lossy stays False, the
+        # windowed diagnoses equal the exact ones after every push
+        petri = figure1_net()
+        alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+        exact = OnlineDiagnoser(petri)
+        windowed = OnlineDiagnoser(petri, window=2)
+        for alarm in alarms:
+            exact.push(alarm)
+            windowed.push(alarm)
+            if not windowed.window_lossy:
+                assert windowed.diagnoses() == exact.diagnoses()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_windowed_is_sound_subset_on_random_nets(self, seed):
+        petri = random_safe_net(seed, branching=0.5)
+        alarms = list(simulate_alarms(petri, steps=5, seed=seed))
+        exact = OnlineDiagnoser(petri)
+        windowed = OnlineDiagnoser(petri, window=2)
+        for alarm in alarms:
+            exact.push(alarm)
+            windowed.push(alarm)
+            assert windowed.diagnoses() <= exact.diagnoses()
+            if not windowed.window_lossy:
+                assert windowed.diagnoses() == exact.diagnoses()
+
+    def test_peak_table_bounded_while_exact_grows(self):
+        from repro.workloads.scenarios import get_scenario
+
+        petri, _unused = get_scenario("telecom-small").instantiate()
+        peaks = {}
+        for window in (None, 3):
+            diagnoser = OnlineDiagnoser(petri, window=window)
+            diagnoser.push_all(simulate_alarms(petri, steps=40, seed=9))
+            peaks[window] = diagnoser.counters["peak_table_vectors"]
+            longer = OnlineDiagnoser(petri, window=window)
+            longer.push_all(simulate_alarms(petri, steps=80, seed=9))
+            peaks[(window, "long")] = longer.counters["peak_table_vectors"]
+        assert peaks[(None, "long")] > peaks[None], "exact peak must grow"
+        assert peaks[(3, "long")] == peaks[3], "windowed peak must not"
+
+    def test_set_window_tighten_compacts_immediately(self):
+        petri = figure1_net()
+        online = OnlineDiagnoser(petri)
+        online.push_all(AlarmSequence(figure1_alarm_scenarios()["bac"]))
+        before = online.counters["peak_table_vectors"]
+        online.set_window(1)
+        assert len(online._table) <= before
+        with pytest.raises(ValueError):
+            online.set_window(0)
+
+    def test_window_partial_flag_reaches_diagnose_api(self):
+        import repro
+
+        petri = figure1_net()
+        alarms = AlarmSequence(figure1_alarm_scenarios()["bac"])
+        exact = repro.diagnose(petri, alarms, method="online")
+        assert not exact.partial
+        windowed = repro.diagnose(
+            petri, alarms, method="online",
+            config=repro.RunConfig(window=1))
+        assert windowed.partial == windowed.window_lossy
+        assert windowed.diagnoses <= exact.diagnoses

@@ -393,3 +393,79 @@ def test_runconfig_rejects_faults_on_mp(e6_problem):
         options=NetworkOptions(fault=FaultPlan(drop_probability=0.2)))
     with pytest.raises(DistributedError, match="simulator-only"):
         repro.diagnose(petri, alarms, method="dqsq", config=config)
+
+
+# -- shutdown hygiene: a timed-out run leaves zero live children ---------------
+
+
+class _HangingPeer:
+    """Blocks forever inside its first handler (a livelocked worker)."""
+
+    def __init__(self, name: str, ignore_sigterm: bool) -> None:
+        self.name = name
+        self.counters = Counters()
+        self._ignore_sigterm = ignore_sigterm
+
+    def on_message(self, message, transport) -> None:
+        import signal
+        import time
+
+        if self._ignore_sigterm:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+        time.sleep(3600)
+
+
+def _build_hanging(*, name, detector=None, ignore_sigterm=False, **_kwargs):
+    return _HangingPeer(name, ignore_sigterm)
+
+
+def _start_one_ping(peer, transport):
+    transport.send(peer.name, "sink", "ping", "x")
+
+
+def _hanging_job(ignore_sigterm: bool = False) -> TransportJob:
+    return TransportJob(
+        peers={"src": PeerSpec(_build_recorder),
+               "sink": PeerSpec(_build_hanging,
+                                kwargs={"ignore_sigterm": ignore_sigterm})},
+        origin="src", start=_start_one_ping)
+
+
+def _no_repro_children() -> list:
+    import multiprocessing
+
+    return [p for p in multiprocessing.active_children()
+            if p.name.startswith("repro-peer-")]
+
+
+def test_mp_timeout_leaves_no_orphans():
+    """A run that times out must terminate and reap every worker."""
+    runtime = _runtime("mp")
+    runtime.config = MpConfig(timeout=1.0)
+    with pytest.raises(DistributedError, match="timed out"):
+        runtime.run(_hanging_job())
+    assert _no_repro_children() == []
+
+
+def test_mp_timeout_kill_fallback_reaps_sigterm_immune_workers():
+    """A worker that ignores SIGTERM is SIGKILLed, never orphaned."""
+    runtime = _runtime("mp")
+    runtime.config = MpConfig(timeout=1.5, shutdown_grace=0.5)
+    with pytest.raises(DistributedError, match="timed out"):
+        runtime.run(_hanging_job(ignore_sigterm=True))
+    assert _no_repro_children() == []
+
+
+def test_mp_interrupt_mid_run_leaves_no_orphans(monkeypatch):
+    """KeyboardInterrupt while polling still reaps every worker."""
+    from repro.distributed.mp import MpTransportRuntime
+
+    runtime = MpTransportRuntime(MpConfig(timeout=30.0))
+
+    def _interrupt(*_args, **_kwargs):
+        raise KeyboardInterrupt
+
+    monkeypatch.setattr(MpTransportRuntime, "_await_quiescence", _interrupt)
+    with pytest.raises(KeyboardInterrupt):
+        runtime.run(_hanging_job())
+    assert _no_repro_children() == []
