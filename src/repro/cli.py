@@ -9,6 +9,9 @@ Usage::
     python -m repro render --scenario figure1-bac            # DOT to stdout
     python -m repro experiments [E1 E6a ...]
     python -m repro lint examples/figure3.dl --registered    # static analysis
+    python -m repro diagnosability --list
+    python -m repro diagnosability ambiguous-loop needs-communication
+    python -m repro diagnosability --net net.json --faults t3 --format sarif
     python -m repro chaos --schedules 30 --max-deliveries 500
     python -m repro diagnose --scenario figure1-bac --crash p1@2 --restart-after 6
     python -m repro serve --port 8750 --snapshot-dir /tmp/repro-sessions
@@ -189,108 +192,13 @@ def cmd_experiments(args) -> int:
     return 0
 
 
-def _print_lint_report(label: str, report) -> bool:
-    """Render one analysis report; returns True when it has errors."""
-    for diagnostic in report.diagnostics:
-        if diagnostic.span is not None:
-            line, column = diagnostic.span
-            location = f"{label}:{line}:{column}"
-        else:
-            location = label
-        print(f"{location}: {diagnostic.code} {diagnostic.slug} "
-              f"{diagnostic.severity}: {diagnostic.message}")
-        if diagnostic.rule is not None and diagnostic.span is None:
-            print(f"    rule: {diagnostic.rule}")
-        if diagnostic.suggestion:
-            print(f"    fix: {diagnostic.suggestion}")
-    print(f"{label}: {len(report.errors)} error(s), "
-          f"{len(report.warnings)} warning(s), {len(report.infos)} info(s)")
-    return bool(report.errors)
-
-
-def _lint_json(runs) -> str:
-    """The ``--format json`` payload: one run object per linted program."""
-    import json
-    payload = {"version": 1, "runs": []}
-    for label, report in runs:
-        payload["runs"].append({
-            "label": label,
-            "errors": len(report.errors),
-            "warnings": len(report.warnings),
-            "infos": len(report.infos),
-            "diagnostics": [{
-                "code": d.code,
-                "slug": d.slug,
-                "severity": d.severity,
-                "message": d.message,
-                "line": d.span[0] if d.span else None,
-                "column": d.span[1] if d.span else None,
-                "rule": str(d.rule) if d.rule is not None else None,
-                "suggestion": d.suggestion,
-            } for d in report.diagnostics],
-        })
-    return json.dumps(payload, indent=2)
-
-
-_SARIF_LEVELS = {"error": "error", "warning": "warning", "info": "note"}
-
-
-def _lint_sarif(runs) -> str:
-    """The ``--format sarif`` payload (SARIF 2.1.0, one run, all programs).
-
-    Each linted program becomes an artifact; findings carry their DD code
-    as ``ruleId`` so SARIF viewers (GitHub code scanning, editors) group
-    and document them via the embedded rule catalog.
-    """
-    import json
-    from repro.datalog.analysis import CODES
-    used = {d.code for _label, report in runs for d in report.diagnostics}
-    rules = [{
-        "id": code,
-        "name": CODES[code][0],
-        "defaultConfiguration": {
-            "level": _SARIF_LEVELS.get(CODES[code][1], "warning")},
-        "helpUri": "https://example.invalid/docs/datalog.md",
-    } for code in sorted(used) if code in CODES]
-    results = []
-    for label, report in runs:
-        for d in report.diagnostics:
-            result = {
-                "ruleId": d.code,
-                "level": _SARIF_LEVELS.get(d.severity, "warning"),
-                "message": {"text": d.message
-                            + (f" (fix: {d.suggestion})" if d.suggestion
-                               else "")},
-                "locations": [{
-                    "physicalLocation": {
-                        "artifactLocation": {"uri": label},
-                        **({"region": {"startLine": d.span[0],
-                                       "startColumn": d.span[1]}}
-                           if d.span else {}),
-                    },
-                }],
-            }
-            results.append(result)
-    return json.dumps({
-        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
-                   "master/Schemata/sarif-schema-2.1.0.json",
-        "version": "2.1.0",
-        "runs": [{
-            "tool": {"driver": {"name": "repro-lint",
-                                "informationUri":
-                                    "https://example.invalid/docs/datalog.md",
-                                "rules": rules}},
-            "results": results,
-        }],
-    }, indent=2)
-
-
 def cmd_lint(args) -> int:
     """Exit codes: 0 = clean (warnings/infos allowed), 1 = at least one
     ERROR-severity finding, 2 = usage or I/O error (via ReproError)."""
     from repro.datalog.analysis import analyze
     from repro.datalog.parser import parse_atom, parse_program
     from repro.datalog.rule import Query, Rule
+    from repro.reporting import lint_json, lint_sarif, print_lint_report
 
     if not args.paths and not args.registered:
         raise ReproError("provide program files and/or --registered")
@@ -323,17 +231,106 @@ def cmd_lint(args) -> int:
                              spans=index_spans(entry.program),
                              cost=args.cost)
             runs.append((f"<registered:{name}>", report))
+        # Registered *models* ride along: every named diagnosability
+        # instance is analyzed and reported as <model:NAME>, so one
+        # `repro lint --registered` sweep covers programs and models.
+        from repro.diagnosability import INSTANCES, model_report
+        for name in sorted(INSTANCES):
+            petri, spec = INSTANCES[name].build()
+            report, _diag = model_report(petri, spec)
+            runs.append((f"<model:{name}>", report))
     if args.format == "json":
-        print(_lint_json(runs))
+        print(lint_json(runs))
         failed = any(report.errors for _label, report in runs)
     elif args.format == "sarif":
-        print(_lint_sarif(runs))
+        print(lint_sarif(runs))
         failed = any(report.errors for _label, report in runs)
     else:
         failed = False
         for label, report in runs:
-            failed |= _print_lint_report(label, report)
+            failed |= print_lint_report(label, report)
     return 1 if failed else 0
+
+
+def _diagnosability_models(args) -> list[tuple[str, object, object]]:
+    """Resolve the models a ``repro diagnosability`` run analyzes."""
+    from repro.diagnosability import DiagnosabilitySpec, get_instance
+
+    models: list[tuple[str, object, object]] = []
+    for name in args.names:
+        try:
+            instance = get_instance(name)
+        except KeyError as err:
+            raise ReproError(str(err)) from err
+        petri, spec = instance.build()
+        models.append((name, petri, spec))
+    if args.net:
+        try:
+            with open(args.net) as handle:
+                petri = petri_from_json(handle.read())
+        except OSError as err:
+            raise ReproError(str(err)) from err
+        if not args.faults:
+            raise ReproError("--net requires --faults")
+        faults = [t for t in args.faults.replace(",", " ").split() if t]
+        if args.observable and args.unobservable:
+            raise ReproError("--observable and --unobservable are exclusive")
+        if args.observable:
+            observable = {t for t in
+                          args.observable.replace(",", " ").split() if t}
+        else:
+            hidden = {t for t in
+                      args.unobservable.replace(",", " ").split() if t}
+            observable = set(petri.net.transitions) - hidden - set(faults)
+        spec = DiagnosabilitySpec.single(faults, observable)
+        models.append((args.net, petri, spec))
+    if not models:
+        raise ReproError("provide instance names, --net, or --list")
+    return models
+
+
+def cmd_diagnosability(args) -> int:
+    """Exit codes: 0 = every fault class diagnosable (a bounded verdict
+    counts, but is flagged via DD902), 1 = at least one class
+    non-diagnosable, 2 = usage or I/O error (via ReproError)."""
+    from repro.diagnosability import (INSTANCES, VERDICT_NON_DIAGNOSABLE,
+                                      VerifierLimits, model_report)
+    from repro.errors import PetriNetError
+    from repro.reporting import lint_json, lint_sarif, print_lint_report
+
+    if args.list:
+        for name in sorted(INSTANCES):
+            print(f"{name:20s} {INSTANCES[name].description}")
+        return 0
+    try:
+        limits = VerifierLimits(max_states=args.max_states,
+                                max_depth=args.depth)
+    except ValueError as err:
+        raise ReproError(str(err)) from err
+    runs = []
+    non_diagnosable = False
+    for label, petri, spec in _diagnosability_models(args):
+        try:
+            analysis, report = model_report(
+                petri, spec, limits=limits,  # type: ignore[arg-type]
+                assume_bounded=args.depth is not None,
+                per_peer=not args.skip_local)
+        except PetriNetError as err:
+            raise ReproError(f"{label}: {err}") from err
+        runs.append((f"<model:{label}>", analysis))
+        non_diagnosable |= any(v.verdict == VERDICT_NON_DIAGNOSABLE
+                               for v in report.verdicts)
+        if args.format == "text":
+            print(f"== {label} "
+                  f"(verifier: {report.verifier_places} places, "
+                  f"{report.verifier_transitions} transitions)")
+            print(report.render())
+            print_lint_report(f"<model:{label}>", analysis)
+    if args.format == "json":
+        print(lint_json(runs))
+    elif args.format == "sarif":
+        print(lint_sarif(runs))
+    return 1 if non_diagnosable else 0
 
 
 def cmd_race(args) -> int:
@@ -512,6 +509,46 @@ def build_parser() -> argparse.ArgumentParser:
                       help="assume a Section-4.4 depth-bound gadget guards "
                            "evaluation (downgrades DD301 to info)")
     lint.set_defaults(func=cmd_lint)
+
+    diagnosability = sub.add_parser(
+        "diagnosability",
+        help="twin-plant diagnosability verdicts for fault models "
+             "(DD901-DD904)")
+    diagnosability.add_argument("names", nargs="*",
+                                help="built-in instance names (see --list)")
+    diagnosability.add_argument("--list", action="store_true",
+                                help="list built-in instances and exit")
+    diagnosability.add_argument("--net", default="",
+                                help="Petri net JSON file to analyze instead")
+    diagnosability.add_argument("--faults", default="",
+                                help="comma/space-separated fault "
+                                     "transitions of the --net model")
+    diagnosability.add_argument("--observable", default="",
+                                help="observable transitions of the --net "
+                                     "model (default: every non-fault "
+                                     "transition)")
+    diagnosability.add_argument("--unobservable", default="",
+                                help="alternative to --observable: hide "
+                                     "these transitions (faults are always "
+                                     "hidden unless listed in --observable)")
+    diagnosability.add_argument("--depth", type=int, default=None,
+                                help="declare a verifier depth bound: the "
+                                     "search stops there and a clean verdict "
+                                     "becomes 'diagnosable up to the bound' "
+                                     "(DD902 at info severity, like "
+                                     "lint --depth-bounded)")
+    diagnosability.add_argument("--max-states", type=int, default=50_000,
+                                help="verifier state-space safety limit; "
+                                     "hitting it downgrades the verdict "
+                                     "(DD902 at warning severity)")
+    diagnosability.add_argument("--skip-local", action="store_true",
+                                help="skip the per-peer DD904 "
+                                     "needs-communication pass")
+    diagnosability.add_argument("--format",
+                                choices=("text", "json", "sarif"),
+                                default="text",
+                                help="output format (same emitters as lint)")
+    diagnosability.set_defaults(func=cmd_diagnosability)
 
     race = sub.add_parser(
         "race", help="DPOR-style schedule exploration: replay a run's "

@@ -32,11 +32,20 @@ Diagnostic codes (see docs/datalog.md for minimal examples and fixes)::
     DD803 broadcast-heavy-rule          located rule shipping far more than it answers
     DD804 demand-explosion              query demands a recursive relation all-free
     DD805 estimate-index-mismatch       cost-based join order beats the default
+    DD901 non-diagnosable-fault         ambiguous cycle/deadlock in the twin plant
+    DD902 bounded-diagnosability-verdict verdict only certified up to a bound
+    DD903 silent-unobservable-fault     fault with no observable causal future
+    DD904 locally-undiagnosable-fault   fault a peer can only diagnose by communicating
 
 The DD8xx family is the cardinality/cost analysis of
 :mod:`repro.datalog.cost`; it runs only on request (``analyze(...,
 cost=True)`` / ``repro lint --cost``) because it estimates expense, not
 correctness.
+
+The DD9xx family analyzes *models* rather than programs -- it is the
+static diagnosability verifier of :mod:`repro.diagnosability`, reported
+through the same machinery (``repro diagnosability``, ``repro lint
+--registered``).
 
 The engines run :func:`check_program` fail-fast at construction: errors
 raise :class:`~repro.errors.ProgramAnalysisError` with the rendered
@@ -94,6 +103,10 @@ CODES: dict[str, tuple[str, str]] = {
     "DD803": ("broadcast-heavy-rule", WARNING),
     "DD804": ("demand-explosion", WARNING),
     "DD805": ("estimate-index-mismatch", WARNING),
+    "DD901": ("non-diagnosable-fault", WARNING),
+    "DD902": ("bounded-diagnosability-verdict", WARNING),
+    "DD903": ("silent-unobservable-fault", WARNING),
+    "DD904": ("locally-undiagnosable-fault", INFO),
 }
 
 

@@ -1,0 +1,64 @@
+"""Static diagnosability analysis: the twin-plant verifier and DD9xx lint.
+
+Answers the *static* counterpart of the paper's diagnosis question: not
+"which faults explain these alarms?" but "could this fault ever be told
+apart from normal behaviour at all?".  The verifier synchronizes two
+copies of the model on observable labels (:mod:`.twin`), searches the
+product for ambiguous cycles and deadlocks (:mod:`.verifier`), and
+reports verdicts as DD901-DD904 diagnostics (:mod:`.lint`) alongside an
+independent brute-force oracle used to cross-check it (:mod:`.bruteforce`).
+"""
+
+from repro.diagnosability.bruteforce import (OracleResult, bruteforce_class,
+                                             bruteforce_diagnosability,
+                                             confirm_witness)
+from repro.diagnosability.examples import (INSTANCES, DiagnosabilityInstance,
+                                           get_instance)
+from repro.diagnosability.lint import (ModelDiagnostic, model_diagnostics,
+                                       model_report, silent_dead_faults,
+                                       witness_payload)
+from repro.diagnosability.spec import (DiagnosabilitySpec, Label,
+                                       observation_label)
+from repro.diagnosability.twin import (TwinPlant, twin_for_class,
+                                       twin_product, verifier_unfolding)
+from repro.diagnosability.verifier import (VERDICT_BOUNDED,
+                                           VERDICT_DIAGNOSABLE,
+                                           VERDICT_NON_DIAGNOSABLE,
+                                           WITNESS_CYCLE, WITNESS_DEADLOCK,
+                                           AmbiguousWitness, ClassVerdict,
+                                           DiagnosabilityReport,
+                                           VerifierLimits, analyze_class,
+                                           analyze_diagnosability)
+
+__all__ = [
+    "AmbiguousWitness",
+    "ClassVerdict",
+    "DiagnosabilityInstance",
+    "DiagnosabilityReport",
+    "DiagnosabilitySpec",
+    "INSTANCES",
+    "Label",
+    "ModelDiagnostic",
+    "OracleResult",
+    "TwinPlant",
+    "VERDICT_BOUNDED",
+    "VERDICT_DIAGNOSABLE",
+    "VERDICT_NON_DIAGNOSABLE",
+    "VerifierLimits",
+    "WITNESS_CYCLE",
+    "WITNESS_DEADLOCK",
+    "analyze_class",
+    "analyze_diagnosability",
+    "bruteforce_class",
+    "bruteforce_diagnosability",
+    "confirm_witness",
+    "get_instance",
+    "model_diagnostics",
+    "model_report",
+    "observation_label",
+    "silent_dead_faults",
+    "twin_for_class",
+    "twin_product",
+    "verifier_unfolding",
+    "witness_payload",
+]

@@ -1,0 +1,272 @@
+"""Brute-force diagnosability oracle: ground truth for small nets.
+
+Independent of the twin-plant construction: this module never builds a
+verifier net.  It enumerates *pairs of runs* of the original net with
+identical observations directly -- a pair state is ``(left marking,
+fault flag, right marking)`` and the joint moves are computed from the
+token game of :mod:`repro.petri.marking` on the original net.  Cycle
+detection is the naive quadratic reach-back check (for every ambiguous
+pair edge that advances the faulty run, can its target reach its source
+again?), and the deadlock check re-derives enabledness from scratch.
+
+The point is cross-checking: the verifier of
+:mod:`repro.diagnosability.verifier` and this oracle implement the same
+*semantics* with disjoint machinery, so agreement on generated nets
+(see tests/property/test_props_diagnosability.py and the benchmark
+gate) is evidence against construction bugs in either.
+
+:func:`confirm_witness` replays a claimed ambiguous witness pair
+against the net -- every DD901 the analyzer emits must pass it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+from repro.diagnosability.spec import (DiagnosabilitySpec, Label,
+                                       observation_label)
+from repro.diagnosability.verifier import (VERDICT_BOUNDED,
+                                           VERDICT_DIAGNOSABLE,
+                                           VERDICT_NON_DIAGNOSABLE,
+                                           WITNESS_CYCLE, WITNESS_DEADLOCK,
+                                           AmbiguousWitness)
+from repro.petri.marking import enabled_transitions, fire, run_sequence
+from repro.petri.net import PetriNet
+
+#: (left marking, left has faulted, right marking); right is fault-free.
+_Pair = tuple[frozenset[str], bool, frozenset[str]]
+
+#: A joint move: (left transition or None, right transition or None).
+_Move = tuple[str | None, str | None]
+
+
+@dataclass(frozen=True)
+class OracleResult:
+    """The oracle's answer for one fault class."""
+
+    fault_class: str
+    verdict: str
+    witness: AmbiguousWitness | None
+    pairs_explored: int
+    conclusive: bool
+
+
+def _joint_moves(petri: PetriNet, faults: frozenset[str],
+                 observable: frozenset[str], pair: _Pair) -> list[_Move]:
+    """All single joint steps extending a pair of observation-equal runs."""
+    net = petri.net
+    left_marking, _faulted, right_marking = pair
+    moves: list[_Move] = []
+    left_enabled = enabled_transitions(net, left_marking)
+    right_enabled = [t for t in enabled_transitions(net, right_marking)
+                     if t not in faults]
+    for t in left_enabled:
+        if t not in observable:
+            moves.append((t, None))
+    for t in right_enabled:
+        if t not in observable:
+            moves.append((None, t))
+    for t_left in left_enabled:
+        if t_left not in observable:
+            continue
+        label = observation_label(net, t_left)
+        for t_right in right_enabled:
+            if t_right in observable \
+                    and observation_label(net, t_right) == label:
+                moves.append((t_left, t_right))
+    return moves
+
+
+def _apply(petri: PetriNet, faults: frozenset[str], pair: _Pair,
+           move: _Move) -> _Pair:
+    net = petri.net
+    left_marking, faulted, right_marking = pair
+    t_left, t_right = move
+    if t_left is not None:
+        left_marking = fire(net, left_marking, t_left)
+        faulted = faulted or t_left in faults
+    if t_right is not None:
+        right_marking = fire(net, right_marking, t_right)
+    return (left_marking, faulted, right_marking)
+
+
+class _PairGraph:
+    """The (bounded) explored pair-state graph."""
+
+    def __init__(self, petri: PetriNet, faults: frozenset[str],
+                 observable: frozenset[str], max_pairs: int) -> None:
+        self.petri = petri
+        self.faults = faults
+        self.observable = observable
+        self.pairs: list[_Pair] = []
+        self.index: dict[_Pair, int] = {}
+        self.parent: list[tuple[int, _Move] | None] = []
+        self.edges: list[list[tuple[_Move, int]]] = []
+        self.truncated = False
+        initial: _Pair = (petri.marking, False, petri.marking)
+        self._add(initial, None)
+        queue: deque[int] = deque([0])
+        while queue:
+            here = queue.popleft()
+            for move in _joint_moves(petri, faults, observable,
+                                     self.pairs[here]):
+                successor = _apply(petri, faults, self.pairs[here], move)
+                there = self.index.get(successor)
+                if there is None:
+                    if len(self.pairs) >= max_pairs:
+                        self.truncated = True
+                        continue
+                    there = self._add(successor, (here, move))
+                    queue.append(there)
+                self.edges[here].append((move, there))
+
+    def _add(self, pair: _Pair, parent: tuple[int, _Move] | None) -> int:
+        position = len(self.pairs)
+        self.pairs.append(pair)
+        self.index[pair] = position
+        self.parent.append(parent)
+        self.edges.append([])
+        return position
+
+    def path_to(self, position: int) -> list[_Move]:
+        moves: list[_Move] = []
+        walk = position
+        while True:
+            step = self.parent[walk]
+            if step is None:
+                break
+            walk, move = step
+            moves.append(move)
+        moves.reverse()
+        return moves
+
+    def reaches(self, start: int, goal: int) -> list[_Move] | None:
+        """Moves of a path start -> goal, or None (naive BFS)."""
+        if start == goal:
+            return []
+        parents: dict[int, tuple[int, _Move]] = {}
+        frontier = [start]
+        while frontier:
+            nxt: list[int] = []
+            for node in frontier:
+                for move, succ in self.edges[node]:
+                    if succ in parents or succ == start:
+                        continue
+                    parents[succ] = (node, move)
+                    if succ == goal:
+                        path: list[_Move] = []
+                        walk = goal
+                        while walk != start:
+                            walk, step = parents[walk]
+                            path.append(step)
+                        path.reverse()
+                        return path
+                    nxt.append(succ)
+            frontier = nxt
+        return None
+
+
+def _moves_to_witness(petri: PetriNet, fault_class: str, kind: str,
+                      moves: list[_Move],
+                      pump: list[_Move] | None = None) -> AmbiguousWitness:
+    net = petri.net
+    faulty: list[str] = []
+    normal: list[str] = []
+    trace: list[Label] = []
+    for t_left, t_right in moves:
+        if t_left is not None:
+            faulty.append(t_left)
+        if t_right is not None:
+            normal.append(t_right)
+        if t_left is not None and t_right is not None:
+            trace.append(observation_label(net, t_left))
+    cycle_faulty = tuple(t for t, _r in (pump or []) if t is not None)
+    cycle_normal = tuple(r for _t, r in (pump or []) if r is not None)
+    return AmbiguousWitness(kind=kind, fault_class=fault_class,
+                            faulty_run=tuple(faulty), normal_run=tuple(normal),
+                            observable_trace=tuple(trace),
+                            cycle_faulty=cycle_faulty,
+                            cycle_normal=cycle_normal)
+
+
+def bruteforce_class(petri: PetriNet, spec: DiagnosabilitySpec,
+                     fault_class: str, max_pairs: int = 20_000) -> OracleResult:
+    """Decide one fault class by exhaustive bounded pair enumeration."""
+    faults = spec.classes()[fault_class]
+    graph = _PairGraph(petri, faults, spec.observable, max_pairs)
+    net = petri.net
+
+    # Ambiguous deadlock: the faulty run is over, nothing more will be
+    # observed, and a fault-free explanation of the whole trace exists.
+    for position, (left_marking, faulted, _right) in enumerate(graph.pairs):
+        if faulted and not enabled_transitions(net, left_marking):
+            witness = _moves_to_witness(petri, fault_class, WITNESS_DEADLOCK,
+                                        graph.path_to(position))
+            return OracleResult(fault_class, VERDICT_NON_DIAGNOSABLE, witness,
+                                len(graph.pairs), conclusive=True)
+
+    # Ambiguous cycle with faulty-run progress: for every tagged edge
+    # that moves the left copy, check (naively) whether its target
+    # reaches its source again.
+    for here, outgoing in enumerate(graph.edges):
+        if not graph.pairs[here][1]:
+            continue
+        for move, there in outgoing:
+            if move[0] is None:
+                continue
+            back = graph.reaches(there, here)
+            if back is None:
+                continue
+            pump = [move] + back
+            moves = graph.path_to(here) + pump
+            witness = _moves_to_witness(petri, fault_class, WITNESS_CYCLE,
+                                        moves, pump=pump)
+            return OracleResult(fault_class, VERDICT_NON_DIAGNOSABLE, witness,
+                                len(graph.pairs), conclusive=True)
+
+    if graph.truncated:
+        return OracleResult(fault_class, VERDICT_BOUNDED, None,
+                            len(graph.pairs), conclusive=False)
+    return OracleResult(fault_class, VERDICT_DIAGNOSABLE, None,
+                        len(graph.pairs), conclusive=True)
+
+
+def bruteforce_diagnosability(petri: PetriNet, spec: DiagnosabilitySpec,
+                              max_pairs: int = 20_000) -> dict[str, OracleResult]:
+    """Oracle verdicts for every fault class of ``spec``."""
+    spec.validate(petri)
+    return {name: bruteforce_class(petri, spec, name, max_pairs=max_pairs)
+            for name, _faults in spec.fault_classes}
+
+
+def confirm_witness(petri: PetriNet, spec: DiagnosabilitySpec,
+                    witness: AmbiguousWitness) -> bool:
+    """Replay a claimed witness pair against the net.
+
+    Checks, from scratch: both runs fire from the initial marking, the
+    faulty run contains a fault of its class, the fault-free run does
+    not, and both produce exactly the claimed (identical) observation.
+    Every DD901 the analyzer emits must pass this.
+    """
+    faults = spec.classes().get(witness.fault_class)
+    if faults is None:
+        return False
+    try:
+        run_sequence(petri, witness.faulty_run)
+        run_sequence(petri, witness.normal_run)
+    except Exception:
+        return False
+    if not any(t in faults for t in witness.faulty_run):
+        return False
+    if any(t in faults for t in witness.normal_run):
+        return False
+    net = petri.net
+
+    def projection(run: tuple[str, ...]) -> tuple[Label, ...]:
+        return tuple(observation_label(net, t) for t in run
+                     if t in spec.observable)
+
+    expected = witness.observable_trace
+    return projection(witness.faulty_run) == expected \
+        and projection(witness.normal_run) == expected

@@ -1,0 +1,185 @@
+"""Named diagnosability instances: hand-built archetypes plus sweeps.
+
+Each instance pairs a net with a :class:`DiagnosabilitySpec` and states
+its expected verdicts, so they serve three masters at once: the CLI's
+``repro diagnosability <name>``, ``repro lint --registered`` (every
+instance is linted as ``<model:NAME>``), and the test suite / CI smoke
+job, which assert the expected verdicts against both the verifier and
+the brute-force oracle.
+
+The four hand-built nets are minimal archetypes of the DD9xx findings:
+
+* ``diagnosable-chain``   -- distinct alarms per branch; clean bill.
+* ``ambiguous-loop``      -- faulty and fault-free branches tick the
+                             same observable alarm forever (DD901 cycle).
+* ``silent-fault``        -- the fault fires into a dead, unobserved
+                             corner (DD903, and a DD901 deadlock).
+* ``needs-communication`` -- two peers; globally diagnosable, but each
+                             peer alone sees an ambiguous projection
+                             (DD904).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.diagnosability.spec import DiagnosabilitySpec
+from repro.petri.generators import (FaultSpec, TelecomSpec, fault_mask,
+                                    telecom_net)
+from repro.petri.net import PetriNet
+
+
+@dataclass(frozen=True)
+class DiagnosabilityInstance:
+    """A named (net, spec) pair with its documented expected verdicts."""
+
+    name: str
+    description: str
+    build: Callable[[], tuple[PetriNet, DiagnosabilitySpec]]
+    #: Expected global verdict per fault class (for tests / smoke job).
+    expected: dict[str, str]
+    #: Peers expected to be locally unable to diagnose (DD904 material).
+    expected_undiagnosing_peers: tuple[str, ...] = ()
+
+
+def _diagnosable_chain() -> tuple[PetriNet, DiagnosabilitySpec]:
+    petri = PetriNet.build(
+        places={"s": "p0", "qf": "p0", "qn": "p0",
+                "df": "p0", "dn": "p0"},
+        transitions={"fault": ("f", "p0"), "ok": ("n", "p0"),
+                     "alarm_f": ("af", "p0"), "alarm_n": ("an", "p0")},
+        edges=[("s", "fault"), ("fault", "qf"),
+               ("s", "ok"), ("ok", "qn"),
+               ("qf", "alarm_f"), ("alarm_f", "df"),
+               ("qn", "alarm_n"), ("alarm_n", "dn")],
+        marking=["s"])
+    spec = DiagnosabilitySpec.single(["fault"], ["alarm_f", "alarm_n"])
+    return petri, spec
+
+
+def _ambiguous_loop() -> tuple[PetriNet, DiagnosabilitySpec]:
+    # Both branches settle into an observable self-loop with the *same*
+    # alarm: after the silent choice, the supervisor sees "t t t ..."
+    # either way, forever -- the canonical ambiguous cycle.
+    petri = PetriNet.build(
+        places={"s": "p0", "lf": "p0", "ln": "p0"},
+        transitions={"fault": ("f", "p0"), "ok": ("n", "p0"),
+                     "tick_f": ("t", "p0"), "tick_n": ("t", "p0")},
+        edges=[("s", "fault"), ("fault", "lf"),
+               ("s", "ok"), ("ok", "ln"),
+               ("lf", "tick_f"), ("tick_f", "lf"),
+               ("ln", "tick_n"), ("tick_n", "ln")],
+        marking=["s"])
+    spec = DiagnosabilitySpec.single(["fault"], ["tick_f", "tick_n"])
+    return petri, spec
+
+
+def _silent_fault() -> tuple[PetriNet, DiagnosabilitySpec]:
+    # The fault drops the token into a place nothing observable ever
+    # drains: structurally silent (DD903) and an ambiguous deadlock
+    # with the empty observation (DD901).
+    petri = PetriNet.build(
+        places={"s": "p0", "hole": "p0", "q": "p0", "d": "p0"},
+        transitions={"fault": ("f", "p0"), "ok": ("n", "p0"),
+                     "go": ("g", "p0")},
+        edges=[("s", "fault"), ("fault", "hole"),
+               ("s", "ok"), ("ok", "q"),
+               ("q", "go"), ("go", "d")],
+        marking=["s"])
+    spec = DiagnosabilitySpec.single(["fault"], ["go"])
+    return petri, spec
+
+
+def _needs_communication() -> tuple[PetriNet, DiagnosabilitySpec]:
+    # The faulty branch raises alarm "a" at peer p0 *and then* alarm
+    # "b" at peer p1; the fault-free branches raise one or the other
+    # but never both.  Pooling both alarm streams pins the fault (only
+    # it produces the pair), yet p0 alone sees "a" either way and p1
+    # alone sees "b" either way: every single peer needs the other's
+    # observations -- the motivating case for the paper's distributed,
+    # communicating diagnosers.
+    petri = PetriNet.build(
+        places={"s": "p0", "qf": "p0", "qa": "p0", "qb": "p1",
+                "rf": "p0", "df": "p1", "da": "p0", "db": "p1"},
+        transitions={"fault": ("f", "p0"),
+                     "pick_a": ("n", "p0"), "pick_b": ("n", "p1"),
+                     "a_f": ("a", "p0"), "b_f": ("b", "p1"),
+                     "a_n": ("a", "p0"), "b_n": ("b", "p1")},
+        edges=[("s", "fault"), ("fault", "qf"),
+               ("s", "pick_a"), ("pick_a", "qa"),
+               ("s", "pick_b"), ("pick_b", "qb"),
+               ("qf", "a_f"), ("a_f", "rf"),
+               ("rf", "b_f"), ("b_f", "df"),
+               ("qa", "a_n"), ("a_n", "da"),
+               ("qb", "b_n"), ("b_n", "db")],
+        marking=["s"])
+    spec = DiagnosabilitySpec.single(["fault"],
+                                     ["a_f", "b_f", "a_n", "b_n"])
+    return petri, spec
+
+
+def _telecom(topology: str, peers: int, placement: str,
+             observable_ratio: float, seed: int) \
+        -> Callable[[], tuple[PetriNet, DiagnosabilitySpec]]:
+    def build() -> tuple[PetriNet, DiagnosabilitySpec]:
+        petri = telecom_net(TelecomSpec(peers=peers, ring_length=3,
+                                        topology=topology, branching=0.4,
+                                        seed=seed))
+        faults, observable = fault_mask(
+            petri, FaultSpec(faults=1, placement=placement,
+                             observable_ratio=observable_ratio, seed=seed))
+        return petri, DiagnosabilitySpec.single(faults, observable)
+    return build
+
+
+INSTANCES: dict[str, DiagnosabilityInstance] = {
+    instance.name: instance for instance in [
+        DiagnosabilityInstance(
+            name="diagnosable-chain",
+            description="silent fault vs silent ok, but each branch then "
+                        "raises a distinct alarm: diagnosable",
+            build=_diagnosable_chain,
+            expected={"fault": "diagnosable"}),
+        DiagnosabilityInstance(
+            name="ambiguous-loop",
+            description="faulty and fault-free branches tick the same "
+                        "observable alarm forever: ambiguous cycle (DD901)",
+            build=_ambiguous_loop,
+            expected={"fault": "non-diagnosable"}),
+        DiagnosabilityInstance(
+            name="silent-fault",
+            description="the fault fires into an unobserved dead end: "
+                        "structurally silent (DD903) and an ambiguous "
+                        "deadlock (DD901)",
+            build=_silent_fault,
+            expected={"fault": "non-diagnosable"}),
+        DiagnosabilityInstance(
+            name="needs-communication",
+            description="globally diagnosable only by pooling both peers' "
+                        "alarms; each peer alone stays ambiguous (DD904)",
+            build=_needs_communication,
+            expected={"fault": "diagnosable"},
+            expected_undiagnosing_peers=("p0", "p1")),
+        DiagnosabilityInstance(
+            name="telecom-chain",
+            description="generated 2-peer telecom chain, late fault, "
+                        "fully observed elsewhere",
+            build=_telecom("chain", 2, "late", 1.0, seed=7),
+            expected={}),
+        DiagnosabilityInstance(
+            name="telecom-ring",
+            description="generated 3-peer telecom ring, spread fault, "
+                        "60% observable",
+            build=_telecom("ring", 3, "spread", 0.6, seed=11),
+            expected={}),
+    ]
+}
+
+
+def get_instance(name: str) -> DiagnosabilityInstance:
+    try:
+        return INSTANCES[name]
+    except KeyError:
+        known = ", ".join(sorted(INSTANCES))
+        raise KeyError(f"unknown instance {name!r} (known: {known})") from None

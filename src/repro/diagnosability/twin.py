@@ -1,0 +1,163 @@
+"""The twin-plant (verifier) construction.
+
+Diagnosability of a fault class is decided on a *synchronized product of
+the model with itself* (Jiang-Huang-Chandra-Kumar's verifier; the
+Petri-net/unfolding variant is Brandán-Briones, Madalinski &
+Ponce-de-León, arXiv:1502.07744 -- see PAPERS.md): a *left* copy plays
+an arbitrary run, a *right* copy plays a fault-free run, and the two are
+forced to agree on every observable label.  A reachable verifier state
+therefore encodes a *pair* of runs of the original net with identical
+observations, the left one possibly faulty -- exactly an ambiguity the
+supervisor cannot resolve.
+
+The twin plant is itself a safe :class:`~repro.petri.net.PetriNet`
+(each copy evolves inside its own disjoint place set), so the whole
+existing substrate applies: the token game of
+:mod:`repro.petri.marking` drives the verifier search, and
+:mod:`repro.petri.unfolding` yields a complete finite prefix of the
+verifier for the benchmark size metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.diagnosability.spec import DiagnosabilitySpec, Label, observation_label
+from repro.petri.net import PetriNet
+from repro.petri.occurrence import BranchingProcess
+from repro.petri.unfolding import unfold
+
+_LEFT = "l:"
+_RIGHT = "r:"
+_SYNC = "s:"
+
+
+@dataclass(frozen=True)
+class TwinPlant:
+    """The verifier net plus projection metadata.
+
+    ``left_of`` / ``right_of`` map each verifier transition to the
+    original transition it advances in the left / right copy (``None``
+    when that copy does not move).  Synchronized transitions move both.
+    """
+
+    petri: PetriNet
+    faults: frozenset[str]
+    observable: frozenset[str]
+    left_of: dict[str, str | None]
+    right_of: dict[str, str | None]
+
+    def is_sync(self, tid: str) -> bool:
+        return self.left_of[tid] is not None and self.right_of[tid] is not None
+
+    def left_marking(self, marking: frozenset[str]) -> frozenset[str]:
+        """Project a verifier marking onto the left copy's places."""
+        width = len(_LEFT)
+        return frozenset(p[width:] for p in marking if p.startswith(_LEFT))
+
+    def decompose(self, tids: list[str]) \
+            -> tuple[tuple[str, ...], tuple[str, ...], tuple[Label, ...]]:
+        """Split a verifier path into (left run, right run, observation)."""
+        left: list[str] = []
+        right: list[str] = []
+        trace: list[Label] = []
+        net = self.petri.net
+        for tid in tids:
+            l_move = self.left_of[tid]
+            r_move = self.right_of[tid]
+            if l_move is not None:
+                left.append(l_move)
+            if r_move is not None:
+                right.append(r_move)
+            if l_move is not None and r_move is not None:
+                # Synchronized step: both copies emit the shared label;
+                # the verifier transition itself carries the alarm.
+                trace.append((net.alarm[tid], net.peer[tid]))
+        return tuple(left), tuple(right), tuple(trace)
+
+
+def twin_product(petri: PetriNet, faults: frozenset[str],
+                 observable: frozenset[str]) -> TwinPlant:
+    """Build the verifier for one fault class.
+
+    Left copy: every transition, lifted to ``l:`` places.  Right copy:
+    non-fault transitions only, lifted to ``r:`` places.  Unobservable
+    transitions move one copy alone; observable transitions exist only
+    as synchronized pairs ``s:t1|t2`` for every right-copy transition
+    ``t2`` sharing the left transition ``t1``'s ``(alarm, peer)`` label.
+    An observable left move with no same-label right partner has no
+    verifier transition at all -- firing it in the real system would
+    immediately betray the fault, so it never extends an ambiguity.
+    """
+    net = petri.net
+    places: dict[str, str] = {}
+    for place in net.places:
+        places[_LEFT + place] = net.peer[place]
+        places[_RIGHT + place] = net.peer[place]
+    transitions: dict[str, tuple[str, str]] = {}
+    edges: list[tuple[str, str]] = []
+    left_of: dict[str, str | None] = {}
+    right_of: dict[str, str | None] = {}
+
+    def lift(tid: str, original: str, prefix: str) -> None:
+        for parent in net.parents(original):
+            edges.append((prefix + parent, tid))
+        for child in net.children(original):
+            edges.append((tid, prefix + child))
+
+    by_label: dict[Label, list[str]] = {}
+    for transition in sorted(net.transitions):
+        if transition in observable:
+            by_label.setdefault(observation_label(net, transition),
+                                []).append(transition)
+            continue
+        tid = _LEFT + transition
+        transitions[tid] = (net.alarm[transition], net.peer[transition])
+        left_of[tid] = transition
+        right_of[tid] = None
+        lift(tid, transition, _LEFT)
+        if transition not in faults:
+            tid = _RIGHT + transition
+            transitions[tid] = (net.alarm[transition], net.peer[transition])
+            left_of[tid] = None
+            right_of[tid] = transition
+            lift(tid, transition, _RIGHT)
+
+    for label, group in sorted(by_label.items()):
+        for t_left in group:
+            for t_right in group:
+                if t_right in faults:
+                    continue
+                tid = f"{_SYNC}{t_left}|{t_right}"
+                transitions[tid] = label
+                left_of[tid] = t_left
+                right_of[tid] = t_right
+                lift(tid, t_left, _LEFT)
+                lift(tid, t_right, _RIGHT)
+
+    marking = [_LEFT + p for p in sorted(petri.marking)] \
+        + [_RIGHT + p for p in sorted(petri.marking)]
+    twin = PetriNet.build(places=places, transitions=transitions,
+                          edges=list(dict.fromkeys(edges)), marking=marking)
+    return TwinPlant(petri=twin, faults=faults, observable=observable,
+                     left_of=left_of, right_of=right_of)
+
+
+def twin_for_class(petri: PetriNet, spec: DiagnosabilitySpec,
+                   fault_class: str) -> TwinPlant:
+    """The verifier of one named fault class of ``spec``."""
+    classes = spec.classes()
+    return twin_product(petri, classes[fault_class], spec.observable)
+
+
+def verifier_unfolding(twin: TwinPlant, max_events: int = 10_000,
+                       max_depth: int | None = None) -> BranchingProcess:
+    """A complete finite prefix of the verifier net (McMillan cut-offs).
+
+    Diagnosability itself is decided on the verifier's reachability
+    graph; the prefix is the partial-order view of the same object and
+    its event count is the "verifier size" the benchmarks track
+    (Brandán-Briones et al. work directly on this prefix).
+    """
+    return unfold(twin.petri, max_events=max_events, max_depth=max_depth,
+                  use_cutoffs=True)

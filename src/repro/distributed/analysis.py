@@ -23,6 +23,10 @@ from repro.datalog.analysis import Diagnostic, make_diagnostic
 if TYPE_CHECKING:  # pragma: no cover
     from repro.datalog.cost import Card, CostModel, CostThresholds, RuleEstimate
     from repro.datalog.rule import Program, Rule
+    from repro.diagnosability.spec import DiagnosabilitySpec
+    from repro.diagnosability.verifier import (DiagnosabilityReport,
+                                               VerifierLimits)
+    from repro.petri.net import PetriNet
 
 
 def check_locality(program: "Program",
@@ -173,4 +177,56 @@ def check_broadcast(program: "Program", model: "CostModel",
             suggestion="reorder the body so selective same-peer atoms "
                        "come first (the remainder then ships fewer "
                        "bindings), or co-locate the joined relations"))
+    return out
+
+
+def check_peer_diagnosability(petri: "PetriNet", spec: "DiagnosabilitySpec",
+                              limits: "VerifierLimits | None" = None,
+                              global_report: "DiagnosabilityReport | None"
+                              = None) -> list[Diagnostic]:
+    """DD904: a fault only the *pooled* observations can decide.
+
+    Re-runs the twin-plant verifier once per peer with the observable
+    set restricted to that peer's own transitions (its local alarm
+    stream).  A fault class that is globally diagnosable but locally
+    non-diagnosable at some peer needs communication: no single-site
+    diagnoser suffices, which is precisely the setting the paper's
+    distributed dDatalog diagnosers exist for.  Classes that are not
+    globally diagnosable are skipped (DD901/DD902 already cover them,
+    and every local view is at least as ambiguous as the global one).
+    """
+    from repro.diagnosability.verifier import (VERDICT_NON_DIAGNOSABLE,
+                                               analyze_class,
+                                               analyze_diagnosability)
+    if global_report is None:
+        global_report = analyze_diagnosability(petri, spec, limits=limits)
+    peers = sorted({petri.net.peer[t] for t in petri.net.transitions})
+    out: list[Diagnostic] = []
+    if len(peers) < 2:
+        return out  # a single-site system has nobody to communicate with
+    for verdict in global_report.verdicts:
+        if not verdict.diagnosable:
+            continue
+        undiagnosing: list[str] = []
+        for peer in peers:
+            local_spec = spec.restricted_to_peer(petri.net, peer)
+            local = analyze_class(petri, local_spec, verdict.fault_class,
+                                  limits=limits)
+            if local.verdict == VERDICT_NON_DIAGNOSABLE:
+                undiagnosing.append(peer)
+        if undiagnosing:
+            from repro.diagnosability.lint import ModelDiagnostic
+            from repro.datalog.analysis import CODES
+            roster = ", ".join(undiagnosing)
+            out.append(ModelDiagnostic(
+                code="DD904", severity=CODES["DD904"][1],
+                message=f"fault class {verdict.fault_class!r} is "
+                        f"diagnosable from the pooled observations but "
+                        f"not from the local alarms of peer(s) {roster}: "
+                        f"a diagnoser at any of these sites must "
+                        f"communicate to reach a verdict",
+                suggestion="deploy communicating diagnosers (repro "
+                           "distributed run) or add distinguishing local "
+                           "alarms at the affected peers",
+                fault_class=verdict.fault_class))
     return out

@@ -12,6 +12,7 @@ ambiguous so that diagnosis has real work to do.
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass
 
@@ -117,7 +118,75 @@ def _pairs(spec: TelecomSpec) -> list[tuple[int, int]]:
         return [(k, (k + 1) % spec.peers) for k in range(spec.peers)]
     if spec.topology == "star":
         return [(0, k) for k in range(1, spec.peers)]
+    if spec.topology == "mesh":
+        return [(a, b) for a in range(spec.peers)
+                for b in range(a + 1, spec.peers)]
     raise PetriNetError(f"unknown topology {spec.topology!r}")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How to carve a fault/observability mask out of a generated net.
+
+    ``placement`` picks which transitions become faults: ``"early"``
+    (first in sorted order), ``"late"`` (last), ``"spread"`` (evenly
+    spaced), or ``"random"`` (seeded).  ``observable_ratio`` keeps that
+    fraction of the *non-fault* transitions observable (rounded up, so
+    a positive ratio always observes something when it can); faults
+    themselves are unobservable unless ``observable_faults`` is set.
+    Everything is deterministic in ``(spec, net)``: the same net and
+    spec always produce the same mask, byte for byte.
+    """
+
+    faults: int = 1
+    placement: str = "late"
+    observable_ratio: float = 1.0
+    observable_faults: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.faults < 1:
+            raise PetriNetError("need at least one fault transition")
+        if self.placement not in ("early", "late", "spread", "random"):
+            raise PetriNetError(f"unknown placement {self.placement!r}")
+        if not 0.0 <= self.observable_ratio <= 1.0:
+            raise PetriNetError("observable_ratio must be within [0, 1]")
+
+
+def fault_mask(petri: PetriNet,
+               spec: FaultSpec) -> tuple[frozenset[str], frozenset[str]]:
+    """Deterministically pick ``(faults, observable)`` for a net.
+
+    Works on the sorted transition list so the choice is independent of
+    dict iteration order; the ``random`` placement and the observable
+    subsampling both draw from ``random.Random(spec.seed)``.
+    """
+    ordered = sorted(petri.net.transitions)
+    if spec.faults >= len(ordered):
+        raise PetriNetError(
+            f"cannot place {spec.faults} faults in a net with only "
+            f"{len(ordered)} transitions (some must stay non-fault)")
+    rng = random.Random(spec.seed)
+    if spec.placement == "early":
+        faults = ordered[:spec.faults]
+    elif spec.placement == "late":
+        faults = ordered[-spec.faults:]
+    elif spec.placement == "spread":
+        step = len(ordered) / spec.faults
+        positions = sorted({min(int(i * step), len(ordered) - 1)
+                            for i in range(spec.faults)})
+        faults = [ordered[j] for j in positions]
+    else:  # random
+        faults = sorted(rng.sample(ordered, spec.faults))
+    fault_set = frozenset(faults)
+    rest = [t for t in ordered if t not in fault_set]
+    keep = min(len(rest), math.ceil(len(rest) * spec.observable_ratio)) \
+        if spec.observable_ratio > 0 else 0
+    observable = frozenset(rng.sample(rest, keep)) \
+        if keep < len(rest) else frozenset(rest)
+    if spec.observable_faults:
+        observable |= fault_set
+    return fault_set, observable
 
 
 def acyclic_pipeline_net(stages: int = 3, peers: int = 2, branching: float = 0.3,

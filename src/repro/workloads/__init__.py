@@ -1,9 +1,11 @@
 """Synthetic workloads: runs, alarm streams and named benchmark scenarios."""
 
 from repro.workloads.alarmgen import simulate_alarms, simulate_run, interleave
+from repro.workloads.diagnosability import SweepCase, iter_models, sweep_cases
 from repro.workloads.scenarios import Scenario, SCENARIOS, get_scenario
 
 __all__ = [
     "simulate_alarms", "simulate_run", "interleave",
     "Scenario", "SCENARIOS", "get_scenario",
+    "SweepCase", "iter_models", "sweep_cases",
 ]

@@ -1,0 +1,62 @@
+"""Generated diagnosability sweeps: topology x fault placement grids.
+
+The hand-built instances of :mod:`repro.diagnosability.examples` pin the
+archetypes; this sweep provides *volume* -- a deterministic grid of
+telecom nets (chains, rings, meshes) crossed with fault placements and
+observability ratios, used by the E10 experiment, the benchmark, and
+the property tests as a shared population on which the twin-plant
+verifier and the brute-force oracle must agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.diagnosability.spec import DiagnosabilitySpec
+from repro.petri.generators import (FaultSpec, TelecomSpec, fault_mask,
+                                    telecom_net)
+from repro.petri.net import PetriNet
+
+
+@dataclass(frozen=True)
+class SweepCase:
+    """One point of the sweep grid, with everything needed to rebuild it."""
+
+    name: str
+    telecom: TelecomSpec
+    fault: FaultSpec
+
+    def build(self) -> tuple[PetriNet, DiagnosabilitySpec]:
+        petri = telecom_net(self.telecom)
+        faults, observable = fault_mask(petri, self.fault)
+        return petri, DiagnosabilitySpec.single(faults, observable)
+
+
+def sweep_cases(*, topologies: tuple[str, ...] = ("chain", "ring", "mesh"),
+                placements: tuple[str, ...] = ("early", "late", "spread"),
+                observable_ratios: tuple[float, ...] = (1.0, 0.6),
+                peers: int = 3, ring_length: int = 3,
+                seed: int = 0) -> list[SweepCase]:
+    """The deterministic sweep grid (same arguments, same cases, always)."""
+    cases = []
+    for topology in topologies:
+        for placement in placements:
+            for ratio in observable_ratios:
+                name = f"{topology}{peers}-{placement}-obs{int(ratio * 100)}"
+                cases.append(SweepCase(
+                    name=name,
+                    telecom=TelecomSpec(peers=peers, ring_length=ring_length,
+                                        topology=topology, branching=0.3,
+                                        seed=seed),
+                    fault=FaultSpec(faults=1, placement=placement,
+                                    observable_ratio=ratio, seed=seed)))
+    return cases
+
+
+def iter_models(cases: list[SweepCase] | None = None) \
+        -> Iterator[tuple[str, PetriNet, DiagnosabilitySpec]]:
+    """Built models of the sweep, ready for verifier/oracle runs."""
+    for case in cases if cases is not None else sweep_cases():
+        petri, spec = case.build()
+        yield case.name, petri, spec

@@ -1,0 +1,273 @@
+"""Tests for the twin-plant diagnosability verifier and its surfaces."""
+
+import pytest
+
+from repro.diagnosability import (INSTANCES, VERDICT_BOUNDED,
+                                  VERDICT_DIAGNOSABLE,
+                                  VERDICT_NON_DIAGNOSABLE, WITNESS_CYCLE,
+                                  WITNESS_DEADLOCK, DiagnosabilitySpec,
+                                  VerifierLimits, analyze_class,
+                                  analyze_diagnosability, bruteforce_class,
+                                  bruteforce_diagnosability, confirm_witness,
+                                  get_instance, model_diagnostics,
+                                  silent_dead_faults, twin_for_class,
+                                  verifier_unfolding)
+from repro.distributed.analysis import check_peer_diagnosability
+from repro.errors import PetriNetError
+from repro.petri import verify_branching_process
+from repro.petri.generators import (FaultSpec, TelecomSpec, fault_mask,
+                                    telecom_net)
+from repro.petri.marking import is_safe
+
+
+def build(name):
+    return get_instance(name).build()
+
+
+class TestVerdicts:
+    def test_diagnosable_chain_is_diagnosable(self):
+        petri, spec = build("diagnosable-chain")
+        report = analyze_diagnosability(petri, spec)
+        assert report.diagnosable
+        assert report.verdict_for("fault").witness is None
+
+    def test_ambiguous_loop_has_cycle_witness(self):
+        petri, spec = build("ambiguous-loop")
+        verdict = analyze_diagnosability(petri, spec).verdict_for("fault")
+        assert verdict.verdict == VERDICT_NON_DIAGNOSABLE
+        assert verdict.witness.kind == WITNESS_CYCLE
+        # The pump extends the faulty run: ambiguity survives forever.
+        assert verdict.witness.cycle_faulty
+        assert confirm_witness(petri, spec, verdict.witness)
+
+    def test_silent_fault_has_deadlock_witness(self):
+        petri, spec = build("silent-fault")
+        verdict = analyze_diagnosability(petri, spec).verdict_for("fault")
+        assert verdict.verdict == VERDICT_NON_DIAGNOSABLE
+        assert verdict.witness.kind == WITNESS_DEADLOCK
+        assert "fault" in verdict.witness.faulty_run
+        assert confirm_witness(petri, spec, verdict.witness)
+
+    def test_needs_communication_is_globally_diagnosable(self):
+        petri, spec = build("needs-communication")
+        assert analyze_diagnosability(petri, spec).diagnosable
+
+    def test_every_instance_matches_its_expected_verdicts(self):
+        for name, instance in INSTANCES.items():
+            petri, spec = instance.build()
+            report = analyze_diagnosability(petri, spec)
+            for fault_class, expected in instance.expected.items():
+                assert report.verdict_for(fault_class).verdict == expected, name
+
+    def test_multi_class_specs_get_independent_verdicts(self):
+        petri, _spec = build("ambiguous-loop")
+        spec = DiagnosabilitySpec.build(
+            {"loop": ["fault"], "choice": ["ok"]},
+            ["tick_f", "tick_n"])
+        report = analyze_diagnosability(petri, spec)
+        assert report.verdict_for("loop").verdict == VERDICT_NON_DIAGNOSABLE
+        # "ok" leads to the same tick loop, so it is just as ambiguous,
+        # but it is judged on its own: the faulty side is the ok-branch.
+        assert report.verdict_for("choice").verdict == VERDICT_NON_DIAGNOSABLE
+
+    def test_spec_validation_rejects_unknown_transitions(self):
+        petri, _spec = build("diagnosable-chain")
+        with pytest.raises(PetriNetError):
+            analyze_diagnosability(
+                petri, DiagnosabilitySpec.single(["nope"], ["alarm_f"]))
+        with pytest.raises(PetriNetError):
+            analyze_diagnosability(
+                petri, DiagnosabilitySpec.single(["fault"], ["nope"]))
+
+
+class TestDepthBound:
+    def test_depth_bound_downgrades_clean_verdict(self):
+        petri, spec = build("diagnosable-chain")
+        verdict = analyze_diagnosability(
+            petri, spec,
+            limits=VerifierLimits(max_depth=1)).verdict_for("fault")
+        assert verdict.verdict == VERDICT_BOUNDED
+        assert verdict.truncated
+
+    def test_deep_enough_bound_is_conclusive(self):
+        petri, spec = build("diagnosable-chain")
+        verdict = analyze_diagnosability(
+            petri, spec,
+            limits=VerifierLimits(max_depth=50)).verdict_for("fault")
+        assert verdict.verdict == VERDICT_DIAGNOSABLE
+        assert not verdict.truncated
+
+    def test_witness_beats_truncation(self):
+        # Even with a tight state cap the ambiguous loop's small cycle
+        # is found: non-diagnosable wins over diagnosable-up-to-bound.
+        petri, spec = build("ambiguous-loop")
+        verdict = analyze_diagnosability(
+            petri, spec,
+            limits=VerifierLimits(max_states=6)).verdict_for("fault")
+        assert verdict.verdict == VERDICT_NON_DIAGNOSABLE
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            VerifierLimits(max_states=0)
+        with pytest.raises(ValueError):
+            VerifierLimits(max_depth=0)
+
+
+class TestTwinPlant:
+    def test_twin_is_safe_and_doubles_places(self):
+        petri, spec = build("needs-communication")
+        twin = twin_for_class(petri, spec, "fault")
+        assert len(twin.petri.net.places) == 2 * len(petri.net.places)
+        assert is_safe(twin.petri, max_markings=20_000)
+
+    def test_sync_transitions_pair_equal_labels_only(self):
+        petri, spec = build("needs-communication")
+        twin = twin_for_class(petri, spec, "fault")
+        net = petri.net
+        for tid in twin.petri.net.transitions:
+            if twin.is_sync(tid):
+                left, right = twin.left_of[tid], twin.right_of[tid]
+                assert (net.alarm[left], net.peer[left]) \
+                    == (net.alarm[right], net.peer[right])
+                assert right not in twin.faults
+
+    def test_verifier_unfolding_is_a_branching_process(self):
+        petri, spec = build("diagnosable-chain")
+        twin = twin_for_class(petri, spec, "fault")
+        prefix = verifier_unfolding(twin, max_events=200)
+        assert verify_branching_process(prefix) == []
+
+
+class TestOracle:
+    def test_oracle_agrees_on_every_builtin_instance(self):
+        for name, instance in INSTANCES.items():
+            petri, spec = instance.build()
+            report = analyze_diagnosability(petri, spec)
+            for fault_class, oracle in \
+                    bruteforce_diagnosability(petri, spec).items():
+                if oracle.conclusive:
+                    assert report.verdict_for(fault_class).verdict \
+                        == oracle.verdict, name
+
+    def test_oracle_witnesses_replay(self):
+        for name in ("ambiguous-loop", "silent-fault"):
+            petri, spec = build(name)
+            oracle = bruteforce_class(petri, spec, "fault")
+            assert oracle.verdict == VERDICT_NON_DIAGNOSABLE
+            assert confirm_witness(petri, spec, oracle.witness), name
+
+    def test_truncated_oracle_is_inconclusive(self):
+        petri, spec = build("telecom-chain")
+        oracle = bruteforce_class(petri, spec, "fault", max_pairs=3)
+        assert not oracle.conclusive
+        assert oracle.verdict == VERDICT_BOUNDED
+
+    def test_confirm_witness_rejects_forgeries(self):
+        petri, spec = build("ambiguous-loop")
+        verdict = analyze_diagnosability(petri, spec).verdict_for("fault")
+        witness = verdict.witness
+        from dataclasses import replace
+        # Fault-free run that actually contains the fault.
+        assert not confirm_witness(
+            petri, spec, replace(witness, normal_run=witness.faulty_run))
+        # Unfireable run.
+        assert not confirm_witness(
+            petri, spec, replace(witness, faulty_run=("tick_f", "fault")))
+        # Claimed trace differing from the replayed projection.
+        assert not confirm_witness(
+            petri, spec, replace(witness, observable_trace=(("x", "p0"),)))
+
+
+class TestModelLint:
+    def test_silent_fault_yields_dd903(self):
+        petri, spec = build("silent-fault")
+        assert silent_dead_faults(petri, spec, "fault") == ("fault",)
+        diags, _report = model_diagnostics(petri, spec)
+        assert {d.code for d in diags} == {"DD901", "DD903"}
+
+    def test_observed_faults_do_not_yield_dd903(self):
+        petri, spec = build("diagnosable-chain")
+        assert silent_dead_faults(petri, spec, "fault") == ()
+
+    def test_dd901_diagnostic_carries_replayable_witness(self):
+        petri, spec = build("ambiguous-loop")
+        diags, _report = model_diagnostics(petri, spec)
+        (dd901,) = [d for d in diags if d.code == "DD901"]
+        assert dd901.fault_class == "fault"
+        assert confirm_witness(petri, spec, dd901.witness)
+
+    def test_needs_communication_yields_dd904_for_both_peers(self):
+        petri, spec = build("needs-communication")
+        diags = check_peer_diagnosability(petri, spec)
+        (dd904,) = diags
+        assert dd904.code == "DD904"
+        assert "p0" in dd904.message and "p1" in dd904.message
+
+    def test_dd904_skipped_when_globally_non_diagnosable(self):
+        petri, spec = build("ambiguous-loop")
+        assert check_peer_diagnosability(petri, spec) == []
+
+    def test_dd904_skipped_on_single_peer_models(self):
+        petri, spec = build("silent-fault")
+        assert check_peer_diagnosability(petri, spec) == []
+
+    def test_local_restriction_flips_the_verdict(self):
+        petri, spec = build("needs-communication")
+        for peer in ("p0", "p1"):
+            local = spec.restricted_to_peer(petri.net, peer)
+            verdict = analyze_class(petri, local, "fault")
+            assert verdict.verdict == VERDICT_NON_DIAGNOSABLE, peer
+
+
+class TestGeneratorKnobs:
+    def test_fault_mask_is_deterministic(self):
+        petri = telecom_net(TelecomSpec(peers=3, topology="mesh", seed=5))
+        spec = FaultSpec(faults=2, placement="random",
+                         observable_ratio=0.5, seed=9)
+        assert fault_mask(petri, spec) == fault_mask(petri, spec)
+
+    def test_fault_mask_pinned_output(self):
+        # Seed-stable across releases: the sweep, the benchmark and the
+        # experiment all depend on this exact choice.
+        petri = telecom_net(TelecomSpec(peers=2, ring_length=3, seed=7))
+        faults, observable = fault_mask(
+            petri, FaultSpec(faults=1, placement="late",
+                             observable_ratio=1.0, seed=7))
+        assert faults == frozenset({"t1_2"})
+        assert observable == frozenset(
+            {"t0_0", "t0_1", "t0_2", "t1_0", "t1_1"})
+
+    def test_placements(self):
+        petri = telecom_net(TelecomSpec(peers=2, ring_length=3, seed=0))
+        ordered = sorted(petri.net.transitions)
+        early, _ = fault_mask(petri, FaultSpec(faults=2, placement="early"))
+        late, _ = fault_mask(petri, FaultSpec(faults=2, placement="late"))
+        assert early == frozenset(ordered[:2])
+        assert late == frozenset(ordered[-2:])
+        spread, _ = fault_mask(petri, FaultSpec(faults=2, placement="spread"))
+        assert len(spread) == 2 and spread < frozenset(ordered)
+
+    def test_observable_faults_knob(self):
+        petri = telecom_net(TelecomSpec(peers=2, ring_length=3, seed=0))
+        faults, observable = fault_mask(
+            petri, FaultSpec(faults=1, observable_faults=True))
+        assert faults <= observable
+
+    def test_mask_validation(self):
+        petri = telecom_net(TelecomSpec(peers=1, ring_length=2, seed=0))
+        with pytest.raises(PetriNetError):
+            fault_mask(petri, FaultSpec(faults=99))
+        with pytest.raises(PetriNetError):
+            FaultSpec(placement="sideways")
+        with pytest.raises(PetriNetError):
+            FaultSpec(observable_ratio=1.5)
+
+    def test_mesh_topology_generates_safe_nets(self):
+        petri = telecom_net(TelecomSpec(peers=4, topology="mesh", seed=3))
+        assert is_safe(petri, max_markings=50_000)
+
+    def test_sweep_cases_are_deterministic(self):
+        from repro.workloads.diagnosability import sweep_cases
+        assert sweep_cases() == sweep_cases()
+        names = [c.name for c in sweep_cases()]
+        assert len(names) == len(set(names))
